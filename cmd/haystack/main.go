@@ -1,0 +1,92 @@
+// Command haystack analyzes a PolyBench kernel with the analytical cache
+// model and prints the predicted compulsory and capacity misses per cache
+// level, together with the model statistics (execution time split and number
+// of counted pieces).
+//
+// Usage:
+//
+//	haystack -kernel gemm -size MEDIUM -line 64 -caches 32768,1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"haystack/internal/core"
+	"haystack/internal/polybench"
+	"haystack/internal/report"
+)
+
+func main() {
+	kernel := flag.String("kernel", "gemm", "PolyBench kernel name (see -list)")
+	size := flag.String("size", "MEDIUM", "problem size: MINI, SMALL, MEDIUM, LARGE, EXTRALARGE")
+	line := flag.Int64("line", 64, "cache line size in bytes")
+	caches := flag.String("caches", "32768,1048576", "comma separated cache capacities in bytes")
+	list := flag.Bool("list", false, "list available kernels and exit")
+	noEqualization := flag.Bool("no-equalization", false, "disable the equalization floor elimination")
+	noRasterization := flag.Bool("no-rasterization", false, "disable the rasterization floor elimination")
+	noPartial := flag.Bool("no-partial-enumeration", false, "disable partial enumeration of non-affine pieces")
+	flag.Parse()
+
+	if *list {
+		for _, k := range polybench.Kernels() {
+			fmt.Printf("%-16s (%s)\n", k.Name, k.Category)
+		}
+		return
+	}
+	k, ok := polybench.ByName(*kernel)
+	if !ok {
+		log.Fatalf("unknown kernel %q (use -list to see the available kernels)", *kernel)
+	}
+	sz, err := parseSize(*size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{LineSize: *line}
+	for _, c := range strings.Split(*caches, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(c), 10, 64)
+		if err != nil {
+			log.Fatalf("invalid cache size %q: %v", c, err)
+		}
+		cfg.CacheSizes = append(cfg.CacheSizes, v)
+	}
+	opts := core.DefaultOptions()
+	opts.Equalization = !*noEqualization
+	opts.Rasterization = !*noRasterization
+	opts.PartialEnumeration = !*noPartial
+
+	prog := k.Build(sz)
+	res, err := core.Analyze(prog, cfg, opts)
+	if err != nil {
+		log.Fatalf("analysis failed: %v", err)
+	}
+
+	fmt.Printf("kernel %s (%s), %d memory accesses\n", k.Name, sz, res.TotalAccesses)
+	if res.UsedTraceFallback {
+		fmt.Printf("note: symbolic analysis fell back to trace profiling (%s)\n", res.FallbackReason)
+	}
+	t := report.NewTable("predicted cache behaviour", "cache", "bytes", "compulsory", "capacity", "misses", "miss ratio")
+	for i, lvl := range res.Levels {
+		ratio := float64(lvl.TotalMisses) / float64(res.TotalAccesses)
+		t.AddRow(fmt.Sprintf("L%d", i+1), lvl.CacheBytes, res.CompulsoryMisses, lvl.CapacityMisses, lvl.TotalMisses, ratio)
+	}
+	t.Write(os.Stdout)
+
+	fmt.Printf("\nstack distances: %v   capacity counting: %v   total: %v\n",
+		res.Stats.StackDistanceTime.Round(1e6), res.Stats.CapacityTime.Round(1e6), res.Stats.TotalTime.Round(1e6))
+	fmt.Printf("pieces: %d distance, %d counted (%d affine, %d non-affine)\n",
+		res.Stats.DistancePieces, res.Stats.CountedPieces, res.Stats.AffinePieces, res.Stats.NonAffinePieces)
+}
+
+func parseSize(s string) (polybench.Size, error) {
+	for _, sz := range polybench.Sizes() {
+		if strings.EqualFold(sz.String(), s) {
+			return sz, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown problem size %q", s)
+}

@@ -1,0 +1,40 @@
+// Cache hierarchy exploration: model the same kernel against several cache
+// hierarchies at once. Because the stack distances are reused across cache
+// sizes (section 4.3 of the paper), adding levels is nearly free, which
+// makes sweeps over hypothetical cache configurations practical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haystack"
+)
+
+func main() {
+	k, ok := haystack.PolyBenchByName("gemm")
+	if !ok {
+		log.Fatal("gemm kernel missing")
+	}
+	prog := k.Build(haystack.Small)
+
+	// Model a full hierarchy sweep: every power of two from 4 KiB to 4 MiB.
+	var sizes []int64
+	for s := int64(4 * 1024); s <= 4*1024*1024; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	cfg := haystack.Config{LineSize: 64, CacheSizes: sizes}
+
+	res, err := haystack.Analyze(prog, cfg, haystack.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gemm (SMALL): %d accesses, %d compulsory misses\n\n", res.TotalAccesses, res.CompulsoryMisses)
+	fmt.Printf("%12s  %12s  %10s\n", "cache size", "misses", "miss ratio")
+	for _, lvl := range res.Levels {
+		fmt.Printf("%9d KiB  %12d  %9.3f%%\n", lvl.CacheBytes/1024, lvl.TotalMisses,
+			100*float64(lvl.TotalMisses)/float64(res.TotalAccesses))
+	}
+	fmt.Printf("\nmodel time: %v (stack distances computed once, %d pieces)\n",
+		res.Stats.TotalTime.Round(1000000), res.Stats.CountedPieces)
+}

@@ -1,0 +1,173 @@
+// Package haystack is a fast analytical model of fully associative caches
+// with least-recently-used replacement, reproducing "A Fast Analytical Model
+// of Fully Associative Caches" (Gysi, Grosser, Brandner, Hoefler; PLDI 2019).
+//
+// The model analyzes static control programs — affine loop nests declared
+// with the Program builder — and predicts their compulsory and capacity
+// misses on a hierarchy of fully associative LRU caches without enumerating
+// the memory trace: the backward stack distance of every access is derived
+// symbolically as a piecewise quasi-polynomial and the misses are obtained by
+// symbolic counting. The package also bundles a trace-driven cache simulator
+// (a Dinero IV stand-in), an exact reuse-distance profiler, and the thirty
+// PolyBench kernels used in the paper's evaluation.
+//
+// # Quick start
+//
+//	p := haystack.NewProgram("example")
+//	a := p.NewArray("A", haystack.ElemFloat64, 1024)
+//	i := haystack.V("i")
+//	p.Add(haystack.For(i, haystack.C(0), haystack.C(1024),
+//		haystack.Stmt("S0", haystack.Read(a, haystack.X(i)))))
+//
+//	res, err := haystack.Analyze(p, haystack.DefaultConfig(), haystack.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Println(res.CompulsoryMisses, res.Levels[0].TotalMisses)
+package haystack
+
+import (
+	"haystack/internal/cachesim"
+	"haystack/internal/core"
+	"haystack/internal/polybench"
+	"haystack/internal/scop"
+)
+
+// Program construction -------------------------------------------------------
+
+// Program is a static control program: the input of the model.
+type Program = scop.Program
+
+// Array is a multi-dimensional array accessed by the program.
+type Array = scop.Array
+
+// Var is a loop variable.
+type Var = scop.Var
+
+// Expr is an affine expression over loop variables.
+type Expr = scop.Expr
+
+// Access is one array reference of a statement.
+type Access = scop.Access
+
+// Node is a loop or statement of the program tree.
+type Node = scop.Node
+
+// Element sizes of the common data types.
+const (
+	ElemFloat32 = scop.ElemFloat32
+	ElemFloat64 = scop.ElemFloat64
+	ElemInt32   = scop.ElemInt32
+)
+
+// NewProgram returns an empty program with the given name.
+func NewProgram(name string) *Program { return scop.NewProgram(name) }
+
+// V returns the loop variable with the given name.
+func V(name string) Var { return scop.V(name) }
+
+// C returns the constant affine expression n.
+func C(n int64) Expr { return scop.C(n) }
+
+// X returns the affine expression consisting of the loop variable v.
+func X(v Var) Expr { return scop.X(v) }
+
+// For builds a loop over [lower, upper) with unit stride.
+func For(v Var, lower, upper Expr, body ...Node) Node { return scop.For(v, lower, upper, body...) }
+
+// Stmt builds a statement with the given array accesses (in program order).
+func Stmt(name string, accesses ...Access) Node { return scop.Stmt(name, accesses...) }
+
+// Read builds a read access of an array element.
+func Read(a *Array, index ...Expr) Access { return scop.Read(a, index...) }
+
+// Write builds a write access of an array element.
+func Write(a *Array, index ...Expr) Access { return scop.Write(a, index...) }
+
+// Cache model -----------------------------------------------------------------
+
+// Config describes the modeled cache hierarchy (line size and per-level
+// capacities in bytes); every level is a fully associative LRU cache.
+type Config = core.Config
+
+// Options toggles the optimizations of the miss counting stage.
+type Options = core.Options
+
+// Result is the outcome of analyzing a program.
+type Result = core.Result
+
+// LevelResult holds the modeled misses of one cache level.
+type LevelResult = core.LevelResult
+
+// Stats describes where the model spent its time and how many pieces it
+// counted.
+type Stats = core.Stats
+
+// Reference holds exact trace-based miss counts used for validation.
+type Reference = core.Reference
+
+// DefaultConfig returns the cache configuration of the paper's test system
+// (64-byte lines, 32 KiB L1, 1 MiB L2).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultOptions enables every optimization of the model.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Analyze runs the analytical cache model on a program.
+func Analyze(p *Program, cfg Config, opts Options) (*Result, error) {
+	return core.Analyze(p, cfg, opts)
+}
+
+// SimulateReference computes exact miss counts by replaying the program
+// trace through a stack distance profiler with the padded array layout the
+// model assumes; it is the ground truth the model is validated against.
+func SimulateReference(p *Program, cfg Config) (Reference, error) {
+	return core.SimulateReference(p, cfg)
+}
+
+// Simulation ------------------------------------------------------------------
+
+// SimConfig describes a cache hierarchy for the trace-driven simulator,
+// which also supports set-associative caches, pseudo-LRU replacement, and a
+// next-line prefetcher.
+type SimConfig = cachesim.Config
+
+// SimLevel describes one simulated cache level.
+type SimLevel = cachesim.LevelConfig
+
+// SimResult holds per-level simulation counters.
+type SimResult = cachesim.Result
+
+// Replacement policies of the simulator.
+const (
+	LRU  = cachesim.LRU
+	PLRU = cachesim.PLRU
+)
+
+// Simulate replays the exact memory trace of the program (natural row-major
+// array layout) through the given cache hierarchy, like the Dinero IV
+// simulator the paper compares against.
+func Simulate(p *Program, cfg SimConfig) (SimResult, error) {
+	return core.DetailedSimulation(p, cfg)
+}
+
+// PolyBench --------------------------------------------------------------------
+
+// PolyBenchSize selects a PolyBench problem size.
+type PolyBenchSize = polybench.Size
+
+// PolyBench problem sizes.
+const (
+	Mini       = polybench.Mini
+	Small      = polybench.Small
+	Medium     = polybench.Medium
+	Large      = polybench.Large
+	ExtraLarge = polybench.ExtraLarge
+)
+
+// PolyBenchKernel is one of the thirty kernels of the paper's evaluation.
+type PolyBenchKernel = polybench.Kernel
+
+// PolyBenchKernels returns all PolyBench kernels.
+func PolyBenchKernels() []PolyBenchKernel { return polybench.Kernels() }
+
+// PolyBenchKernel returns the named kernel.
+func PolyBenchByName(name string) (PolyBenchKernel, bool) { return polybench.ByName(name) }

@@ -1,0 +1,63 @@
+package haystack_test
+
+import (
+	"testing"
+
+	"haystack"
+)
+
+// TestPublicAPIQuickstart exercises the public API end to end on the paper's
+// worked example and checks the numbers derived in section 3 of the paper.
+func TestPublicAPIQuickstart(t *testing.T) {
+	p := haystack.NewProgram("example")
+	m := p.NewArray("M", haystack.ElemFloat64, 4)
+	i, j := haystack.V("i"), haystack.V("j")
+	p.Add(
+		haystack.For(i, haystack.C(0), haystack.C(4),
+			haystack.Stmt("S0", haystack.Write(m, haystack.X(i)))),
+		haystack.For(j, haystack.C(0), haystack.C(4),
+			haystack.Stmt("S1", haystack.Read(m, haystack.C(3).Minus(haystack.X(j))))),
+	)
+	cfg := haystack.Config{LineSize: 8, CacheSizes: []int64{16}}
+	res, err := haystack.Analyze(p, cfg, haystack.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAccesses != 8 || res.CompulsoryMisses != 4 || res.Levels[0].CapacityMisses != 2 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	ref, err := haystack.SimulateReference(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.TotalMisses[0] != res.Levels[0].TotalMisses {
+		t.Fatalf("model (%d) and reference (%d) disagree", res.Levels[0].TotalMisses, ref.TotalMisses[0])
+	}
+}
+
+func TestPublicAPISimulator(t *testing.T) {
+	k, ok := haystack.PolyBenchByName("gemm")
+	if !ok {
+		t.Fatal("gemm missing from the PolyBench registry")
+	}
+	prog := k.Build(haystack.Mini)
+	res, err := haystack.Simulate(prog, haystack.SimConfig{
+		LineSize: 64,
+		Levels: []haystack.SimLevel{
+			{Name: "L1", SizeBytes: 32 * 1024, Ways: 8, Policy: haystack.PLRU},
+			{Name: "L2", SizeBytes: 1024 * 1024, Ways: 16, Policy: haystack.LRU},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAccesses == 0 || res.Levels[0].Hits+res.Levels[0].Misses != res.Levels[0].Accesses {
+		t.Fatalf("inconsistent simulation result: %+v", res)
+	}
+}
+
+func TestPolyBenchRegistryExposed(t *testing.T) {
+	if len(haystack.PolyBenchKernels()) != 30 {
+		t.Fatalf("expected 30 kernels, got %d", len(haystack.PolyBenchKernels()))
+	}
+}

@@ -1,0 +1,230 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"haystack/internal/scop"
+)
+
+func fullyAssoc(name string, size int64) LevelConfig {
+	return LevelConfig{Name: name, SizeBytes: size, Ways: 0, Policy: LRU}
+}
+
+func TestFullyAssociativeLRUBasics(t *testing.T) {
+	h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 2 * 64)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two-line cache: A, B hit after touch; adding C evicts A (LRU).
+	seq := []int64{0, 64, 0, 64, 128, 0}
+	for _, a := range seq {
+		h.Access(a, false)
+	}
+	res := h.Results()
+	l1 := res.Levels[0]
+	// Misses: A(comp), B(comp), C(comp), A(capacity) = 4; hits: 2.
+	if l1.Misses != 4 || l1.Hits != 2 || l1.Compulsory != 3 {
+		t.Fatalf("got %+v", l1)
+	}
+	if res.TotalAccesses != int64(len(seq)) {
+		t.Fatalf("accesses = %d", res.TotalAccesses)
+	}
+}
+
+func TestSetAssociativeConflictMisses(t *testing.T) {
+	// Direct-mapped cache with 2 sets: lines 0 and 2 conflict.
+	h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{
+		{Name: "L1", SizeBytes: 2 * 64, Ways: 1, Policy: LRU},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		h.Access(0, false)     // line 0 -> set 0
+		h.Access(2*64, false)  // line 2 -> set 0 (conflict)
+	}
+	res := h.Results().Levels[0]
+	if res.Hits != 0 || res.Misses != 8 {
+		t.Fatalf("direct-mapped conflicts: %+v", res)
+	}
+	// The same trace in a fully associative cache of the same size has no
+	// conflicts.
+	h2, _ := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 2 * 64)}})
+	for i := 0; i < 4; i++ {
+		h2.Access(0, false)
+		h2.Access(2*64, false)
+	}
+	res2 := h2.Results().Levels[0]
+	if res2.Misses != 2 || res2.Hits != 6 {
+		t.Fatalf("fully associative: %+v", res2)
+	}
+}
+
+func TestPLRUMatchesLRUOnSequentialReuse(t *testing.T) {
+	// For a working set that fits, PLRU and LRU both give pure hits after the
+	// cold misses.
+	mk := func(policy Policy) LevelResult {
+		h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{
+			{Name: "L1", SizeBytes: 8 * 64, Ways: 8, Policy: policy},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 10; rep++ {
+			for line := int64(0); line < 8; line++ {
+				h.Access(line*64, false)
+			}
+		}
+		return h.Results().Levels[0]
+	}
+	lru, plru := mk(LRU), mk(PLRU)
+	if lru.Misses != 8 || plru.Misses != 8 {
+		t.Fatalf("lru=%+v plru=%+v", lru, plru)
+	}
+}
+
+func TestPLRURequiresPowerOfTwo(t *testing.T) {
+	_, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{
+		{Name: "L1", SizeBytes: 6 * 64, Ways: 3, Policy: PLRU},
+	}})
+	if err == nil {
+		t.Fatal("expected error for non power-of-two PLRU associativity")
+	}
+}
+
+func TestPLRUDiffersFromLRUUnderThrashing(t *testing.T) {
+	// A cyclic pattern over ways+1 lines mapping to one set: LRU misses every
+	// access; tree PLRU keeps some lines and scores hits. This documents that
+	// the two policies are genuinely different (an error source the paper
+	// names for real hardware).
+	mk := func(policy Policy) LevelResult {
+		h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{
+			{Name: "L1", SizeBytes: 4 * 64, Ways: 4, Policy: policy},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 50; rep++ {
+			for line := int64(0); line < 5; line++ {
+				h.Access(line*64, false)
+			}
+		}
+		return h.Results().Levels[0]
+	}
+	lru, plru := mk(LRU), mk(PLRU)
+	if lru.Hits != 0 {
+		t.Fatalf("true LRU should thrash: %+v", lru)
+	}
+	if plru.Hits == 0 {
+		t.Fatalf("tree PLRU should retain some lines under thrashing: %+v", plru)
+	}
+}
+
+func TestMultiLevelInclusive(t *testing.T) {
+	h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{
+		fullyAssoc("L1", 2*64),
+		fullyAssoc("L2", 8*64),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Working set of 4 lines: fits L2 but not L1.
+	for rep := 0; rep < 5; rep++ {
+		for line := int64(0); line < 4; line++ {
+			h.Access(line*64, false)
+		}
+	}
+	res := h.Results()
+	l1, l2 := res.Levels[0], res.Levels[1]
+	if l1.Misses != 20 {
+		t.Fatalf("L1 should miss every access with a cyclic pattern over 4 lines in 2-line LRU: %+v", l1)
+	}
+	if l2.Misses != 4 || l2.Hits != 16 {
+		t.Fatalf("L2 should only take the cold misses: %+v", l2)
+	}
+	if l2.Accesses != l1.Misses {
+		t.Fatalf("L2 accesses (%d) must equal L1 misses (%d)", l2.Accesses, l1.Misses)
+	}
+}
+
+func TestPrefetcherReducesSequentialMisses(t *testing.T) {
+	mk := func(prefetch bool) LevelResult {
+		h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{
+			{Name: "L1", SizeBytes: 64 * 64, Ways: 8, Policy: LRU, NextLinePrefetch: prefetch},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for line := int64(0); line < 32; line++ {
+			h.Access(line*64, false)
+		}
+		return h.Results().Levels[0]
+	}
+	plain, pf := mk(false), mk(true)
+	if plain.Misses != 32 {
+		t.Fatalf("plain sequential walk should miss every line: %+v", plain)
+	}
+	if pf.Misses >= plain.Misses {
+		t.Fatalf("next-line prefetching should reduce demand misses: %+v vs %+v", pf, plain)
+	}
+}
+
+func TestWriteAllocate(t *testing.T) {
+	h, _ := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 4 * 64)}})
+	h.Access(0, true)  // write miss allocates
+	h.Access(0, false) // read hits
+	res := h.Results().Levels[0]
+	if res.Misses != 1 || res.Hits != 1 {
+		t.Fatalf("write-allocate broken: %+v", res)
+	}
+}
+
+func TestSimulateProgram(t *testing.T) {
+	p := scop.NewProgram("stream")
+	a := p.NewArray("A", scop.ElemFloat64, 1024)
+	i := scop.V("i")
+	p.Add(scop.For(i, scop.C(0), scop.C(1024), scop.Stmt("S0", scop.Read(a, scop.X(i)))))
+	layout := scop.NewLayout(p, scop.LayoutNatural, 64)
+	cp, err := scop.Compile(p, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cp, Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 32 * 1024)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := res.Levels[0]
+	// 1024 elements x 8 bytes / 64-byte lines = 128 cold misses, rest hits.
+	if l1.Misses != 128 || l1.Compulsory != 128 || l1.Hits != 1024-128 {
+		t.Fatalf("stream simulation: %+v", l1)
+	}
+}
+
+func TestRandomTraceLevelInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{
+		{Name: "L1", SizeBytes: 8 * 64, Ways: 2, Policy: LRU},
+		{Name: "L2", SizeBytes: 64 * 64, Ways: 4, Policy: LRU},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 20000; n++ {
+		h.Access(int64(rng.Intn(256))*64, rng.Intn(4) == 0)
+	}
+	res := h.Results()
+	l1, l2 := res.Levels[0], res.Levels[1]
+	if l1.Hits+l1.Misses != l1.Accesses || l2.Hits+l2.Misses != l2.Accesses {
+		t.Fatalf("hits+misses must equal accesses: %+v", res)
+	}
+	if l2.Accesses != l1.Misses {
+		t.Fatalf("inclusive hierarchy: L2 accesses must equal L1 misses: %+v", res)
+	}
+	if l1.Compulsory > l1.Misses || l2.Compulsory > l2.Misses {
+		t.Fatalf("compulsory misses cannot exceed misses: %+v", res)
+	}
+	if l2.Misses > l1.Misses {
+		t.Fatalf("L2 misses cannot exceed L1 misses in an inclusive hierarchy: %+v", res)
+	}
+}

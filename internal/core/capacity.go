@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+
+	"haystack/internal/counting"
+	"haystack/internal/ints"
+	"haystack/internal/presburger"
+	"haystack/internal/qpoly"
+)
+
+// capacityCounter implements Algorithm 1 of the paper: it counts, for every
+// piece of the stack distance quasi-polynomials, the statement instances
+// whose distance exceeds the cache capacity. Affine pieces are counted
+// symbolically; non-affine pieces are first simplified by equalization and
+// rasterization and finally handled by partial enumeration of their
+// non-affine dimensions.
+type capacityCounter struct {
+	opts  Options
+	stats *Stats
+}
+
+func newCapacityCounter(opts Options, stats *Stats) *capacityCounter {
+	return &capacityCounter{opts: opts, stats: stats}
+}
+
+// Count returns the total number of capacity misses for a cache of the given
+// capacity (in lines) together with the per-statement breakdown.
+func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines int64) (int64, map[string]int64, error) {
+	var total int64
+	perStmt := map[string]int64{}
+	for _, sd := range distances {
+		var stmtTotal int64
+		for _, piece := range sd.Distance.Pieces {
+			n, err := cc.countPiece(piece.Domain, piece.Poly, cacheLines, true)
+			if err != nil {
+				return 0, nil, fmt.Errorf("core: counting capacity misses of %s: %w", sd.Statement, err)
+			}
+			stmtTotal += n
+		}
+		perStmt[sd.Statement] = stmtTotal
+		total += stmtTotal
+	}
+	return total, perStmt, nil
+}
+
+// countPiece counts the points of the piece whose stack distance polynomial
+// exceeds the capacity. topLevel marks the pieces of the original distance
+// set for the statistics (pieces created by the splitting strategies are not
+// classified again).
+func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64, topLevel bool) (int64, error) {
+	if topLevel {
+		if poly.Degree() <= 1 {
+			cc.stats.AffinePieces++
+		} else {
+			cc.stats.NonAffinePieces++
+			cc.stats.NonAffineByAffineDims[cc.affineDims(domain, poly)]++
+		}
+	}
+	if poly.Degree() <= 1 {
+		return cc.countAffinePiece(domain, poly, capacity)
+	}
+	// Floor elimination (section 3.3).
+	if cc.opts.Equalization {
+		if pieces, ok := equalize(domain, poly); ok {
+			cc.stats.EqualizationSplits++
+			return cc.countSubPieces(pieces, capacity)
+		}
+	}
+	if cc.opts.Rasterization {
+		if pieces, ok := rasterize(domain, poly); ok {
+			cc.stats.RasterizationSplits++
+			return cc.countSubPieces(pieces, capacity)
+		}
+	}
+	// Partial enumeration (section 3.2).
+	if cc.opts.PartialEnumeration {
+		n, err := cc.partialEnumeration(domain, poly, capacity)
+		if err == nil {
+			return n, nil
+		}
+	}
+	return cc.fullEnumeration(domain, poly, capacity)
+}
+
+func (cc *capacityCounter) countSubPieces(pieces []splitPiece, capacity int64) (int64, error) {
+	var total int64
+	for _, p := range pieces {
+		n, err := cc.countPiece(p.domain, p.poly, capacity, false)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// affineDims counts the dimensions of the piece that the polynomial depends
+// on at most affinely (the dimensions partial enumeration can keep
+// symbolic); used for the Table 1 statistic.
+func (cc *capacityCounter) affineDims(domain presburger.BasicSet, poly qpoly.QPoly) int {
+	enum := chooseEnumerationDims(poly)
+	n := domain.NDim() - len(enum)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// countAffinePiece counts the points of the piece with distance > capacity
+// symbolically (countAffinePiece of Algorithm 1).
+func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64) (int64, error) {
+	cc.stats.CountedPieces++
+	if c, ok := poly.IsConstant(); ok {
+		// Constant distance: either every point of the piece misses or none.
+		if c.Cmp(ints.RatInt(capacity)) <= 0 {
+			return 0, nil
+		}
+		n, err := counting.CountBasicSet(domain)
+		if err != nil {
+			return domain.CountByScan()
+		}
+		return n, nil
+	}
+	missSet, err := affineMissSet(domain, poly, capacity)
+	if err != nil {
+		return 0, err
+	}
+	n, err := counting.CountBasicSet(missSet)
+	if err != nil {
+		// The symbolic counter could not handle the piece; enumeration of
+		// the restricted set stays exact.
+		return missSet.CountByScan()
+	}
+	return n, nil
+}
+
+// affineMissSet intersects the domain with the constraint poly > capacity.
+// The polynomial must be affine (degree <= 1); its floor atoms become div
+// variables of the resulting basic set.
+func affineMissSet(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64) (presburger.BasicSet, error) {
+	if poly.Degree() > 1 {
+		return presburger.BasicSet{}, fmt.Errorf("core: affineMissSet called with degree %d", poly.Degree())
+	}
+	// Common denominator of the coefficients.
+	lcm := int64(1)
+	for _, t := range poly.Terms {
+		lcm = ints.LCM(lcm, t.Coef.Den())
+	}
+	out := domain
+	// Map atoms of the polynomial to div columns of the basic set.
+	atomCol := make([]int, len(poly.Atoms))
+	for i := range atomCol {
+		atomCol[i] = -1
+	}
+	var ensureAtom func(idx int) (int, error)
+	ensureAtom = func(idx int) (int, error) {
+		if atomCol[idx] >= 0 {
+			return atomCol[idx], nil
+		}
+		a := poly.Atoms[idx]
+		num := presburger.NewVec(out.NCols())
+		for j, c := range a.Num {
+			if c == 0 {
+				continue
+			}
+			switch {
+			case j == 0:
+				num[0] += c
+			case j <= poly.NVar:
+				num[j] += c
+			default:
+				col, err := ensureAtom(j - 1 - poly.NVar)
+				if err != nil {
+					return 0, err
+				}
+				num = num.Resized(out.NCols())
+				num[col] += c
+			}
+		}
+		var col int
+		out, col = out.AddDiv(num, a.Den)
+		atomCol[idx] = col
+		return col, nil
+	}
+	// Build lcm*poly - lcm*(capacity+1) >= 0.
+	vec := presburger.NewVec(out.NCols())
+	for _, t := range poly.Terms {
+		coef := t.Coef.Mul(ints.RatInt(lcm))
+		if !coef.IsInt() {
+			return presburger.BasicSet{}, fmt.Errorf("core: non-integer scaled coefficient %v", coef)
+		}
+		col := 0
+		count := 0
+		for j, e := range t.Pow {
+			if e > 0 {
+				col = j
+				count += e
+			}
+		}
+		switch count {
+		case 0:
+			vec[0] += coef.Int()
+		case 1:
+			if col < poly.NVar {
+				vec = vec.Resized(out.NCols())
+				vec[1+col] += coef.Int()
+			} else {
+				dcol, err := ensureAtom(col - poly.NVar)
+				if err != nil {
+					return presburger.BasicSet{}, err
+				}
+				vec = vec.Resized(out.NCols())
+				vec[dcol] += coef.Int()
+			}
+		default:
+			return presburger.BasicSet{}, fmt.Errorf("core: non-affine term in affineMissSet")
+		}
+	}
+	vec = vec.Resized(out.NCols())
+	vec[0] -= lcm * (capacity + 1)
+	return out.AddConstraint(presburger.Constraint{C: vec}), nil
+}
+
+// partialEnumeration enumerates the values of the non-affine dimensions and
+// counts the remaining affine dimensions symbolically.
+func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64) (int64, error) {
+	enumDims := chooseEnumerationDims(poly)
+	if len(enumDims) == 0 || len(enumDims) >= domain.NDim() {
+		return 0, fmt.Errorf("core: no profitable partial enumeration split")
+	}
+	enumDomain, err := projectOnto(domain, enumDims)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	err = enumDomain.Scan(func(point []int64) error {
+		cc.stats.PartialEnumerationPoints++
+		boundDomain := domain
+		boundPoly := poly
+		for i, d := range enumDims {
+			boundDomain = boundDomain.FixDim(d, point[i])
+			boundPoly = boundPoly.BindVar(d, point[i])
+		}
+		n, err := cc.countPiece(boundDomain, boundPoly, capacity, false)
+		if err != nil {
+			return err
+		}
+		total += n
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// fullEnumeration walks every point of the piece and evaluates the
+// polynomial (the last resort of Algorithm 1).
+func (cc *capacityCounter) fullEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64) (int64, error) {
+	cc.stats.CountedPieces++
+	var total int64
+	err := domain.Scan(func(point []int64) error {
+		cc.stats.FullEnumerationPoints++
+		if poly.Eval(point).Cmp(ints.RatInt(capacity)) > 0 {
+			total++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// chooseEnumerationDims greedily selects the dimensions to enumerate: while
+// the polynomial restricted to the remaining dimensions is non-affine, the
+// dimension involved in the largest number of non-affine terms is added to
+// the enumeration set.
+func chooseEnumerationDims(poly qpoly.QPoly) []int {
+	chosen := map[int]bool{}
+	for {
+		counts := make(map[int]int)
+		nonAffine := false
+		for _, t := range poly.Terms {
+			deg := 0
+			var varsInTerm []int
+			for j, e := range t.Pow {
+				if e == 0 {
+					continue
+				}
+				vars := columnVars(poly, j)
+				free := false
+				for _, v := range vars {
+					if !chosen[v] {
+						free = true
+					}
+				}
+				if free {
+					deg += e
+					for _, v := range vars {
+						if !chosen[v] {
+							varsInTerm = append(varsInTerm, v)
+						}
+					}
+				}
+			}
+			if deg > 1 {
+				nonAffine = true
+				for _, v := range varsInTerm {
+					counts[v]++
+				}
+			}
+		}
+		if !nonAffine {
+			break
+		}
+		best, bestCount := -1, -1
+		for v, c := range counts {
+			if c > bestCount || (c == bestCount && v < best) {
+				best, bestCount = v, c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+	}
+	out := make([]int, 0, len(chosen))
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+// columnVars returns the variables a power column of the polynomial depends
+// on: the variable itself for a variable column, the (transitive) variables
+// of the atom argument for an atom column.
+func columnVars(poly qpoly.QPoly, col int) []int {
+	if col < poly.NVar {
+		return []int{col}
+	}
+	var out []int
+	for v := 0; v < poly.NVar; v++ {
+		for _, idx := range poly.AtomsDependingOnVar(v) {
+			if idx == col-poly.NVar {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// projectOnto projects the domain onto the selected dimensions (in order) by
+// eliminating every other dimension.
+func projectOnto(domain presburger.BasicSet, dims []int) (presburger.BasicSet, error) {
+	keep := map[int]bool{}
+	for _, d := range dims {
+		keep[d] = true
+	}
+	out := domain
+	// Eliminate from the highest index so earlier indices stay valid.
+	for d := domain.NDim() - 1; d >= 0; d-- {
+		if keep[d] {
+			continue
+		}
+		var err error
+		out, err = out.ProjectOut(d, 1)
+		if err != nil {
+			return presburger.BasicSet{}, err
+		}
+	}
+	return out, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package core implements the HayStack cache model: a fast analytical model
+// of fully associative LRU caches for static control programs (Gysi et al.,
+// PLDI 2019).
+//
+// The model computes, for every memory access of the program, the backward
+// stack distance as a piecewise quasi-polynomial (section 3.1 of the paper),
+// counts the accesses whose distance exceeds the cache capacity to obtain
+// the capacity misses (section 3.2, Algorithm 1), eliminates non-affine
+// floor terms by equalization and rasterization (section 3.3), and counts
+// the first accesses of every cache line as compulsory misses (section 3.4).
+// All counting is symbolic; non-affine pieces fall back to partial or full
+// enumeration exactly as the paper describes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"haystack/internal/cachesim"
+	"haystack/internal/counting"
+	"haystack/internal/qpoly"
+	"haystack/internal/reusedist"
+	"haystack/internal/scop"
+)
+
+// Config describes the modeled cache hierarchy: fully associative LRU caches
+// with the given capacities sharing one line size.
+type Config struct {
+	// LineSize is the cache line size in bytes.
+	LineSize int64
+	// CacheSizes holds the capacity in bytes of every modeled cache level,
+	// ordered from the innermost level (L1) outwards.
+	CacheSizes []int64
+}
+
+// DefaultConfig returns the cache configuration of the paper's test system:
+// 64-byte lines, a 32 KiB L1 and a 1 MiB L2.
+func DefaultConfig() Config {
+	return Config{LineSize: 64, CacheSizes: []int64{32 * 1024, 1024 * 1024}}
+}
+
+// Options toggles the optimizations of the miss counting stage; all of them
+// are enabled by default. Disabling them reproduces the ablation study of
+// the evaluation (Figure 14).
+type Options struct {
+	// Equalization replaces pairs of floor expressions that differ by a
+	// constant offset with per-region constants (section 3.3).
+	Equalization bool
+	// Rasterization specializes floor expressions per cache line offset
+	// (section 3.3).
+	Rasterization bool
+	// PartialEnumeration enumerates only the non-affine dimensions of a
+	// piece and counts the affine dimensions symbolically (section 3.2);
+	// when disabled, non-affine pieces are enumerated point by point.
+	PartialEnumeration bool
+	// TraceFallback allows Analyze to fall back to exact trace-based
+	// profiling when the symbolic pipeline cannot handle the program. The
+	// result is still exact but the runtime becomes proportional to the
+	// number of memory accesses.
+	TraceFallback bool
+}
+
+// DefaultOptions enables every optimization.
+func DefaultOptions() Options {
+	return Options{Equalization: true, Rasterization: true, PartialEnumeration: true, TraceFallback: true}
+}
+
+// LevelResult holds the modeled miss counts of one cache level.
+type LevelResult struct {
+	CacheBytes     int64
+	CapacityMisses int64
+	// TotalMisses is the sum of compulsory and capacity misses.
+	TotalMisses int64
+	// PerStatementCapacity attributes the capacity misses to statements.
+	PerStatementCapacity map[string]int64
+}
+
+// Stats records where the model spent its time and how many pieces it
+// counted, mirroring the quantities reported in the evaluation section.
+type Stats struct {
+	StackDistanceTime time.Duration
+	CapacityTime      time.Duration
+	CompulsoryTime    time.Duration
+	TotalTime         time.Duration
+
+	// DistancePieces is the number of pieces of the stack distance
+	// quasi-polynomials across all statements.
+	DistancePieces int
+	// CountedPieces is the number of pieces counted separately while
+	// computing capacity misses (after equalization, rasterization, and
+	// partial enumeration splits), summed over all cache levels.
+	CountedPieces int
+	// AffinePieces and NonAffinePieces classify the distance pieces.
+	AffinePieces    int
+	NonAffinePieces int
+	// NonAffineByAffineDims histograms the non-affine pieces by the number
+	// of dimensions that could still be counted symbolically (Table 1).
+	NonAffineByAffineDims map[int]int
+	// EqualizationSplits and RasterizationSplits count applications of the
+	// floor elimination techniques.
+	EqualizationSplits   int
+	RasterizationSplits  int
+	// PartialEnumerationPoints is the number of enumerated points of
+	// non-affine dimensions; FullEnumerationPoints counts points that had to
+	// be enumerated exhaustively.
+	PartialEnumerationPoints int64
+	FullEnumerationPoints    int64
+}
+
+// Result is the outcome of analyzing one program.
+type Result struct {
+	Kernel           string
+	TotalAccesses    int64
+	CompulsoryMisses int64
+	Levels           []LevelResult
+	// PerStatementCompulsory attributes compulsory misses to the statement
+	// performing the first access of each line (empty if attribution was
+	// skipped).
+	PerStatementCompulsory map[string]int64
+	Stats                  Stats
+	// UsedTraceFallback reports that the symbolic pipeline failed and the
+	// result was obtained by exact trace profiling instead.
+	UsedTraceFallback bool
+	// FallbackReason carries the error that triggered the trace fallback.
+	FallbackReason string
+}
+
+// Analyze runs the cache model on a program.
+func Analyze(prog *scop.Program, cfg Config, opts Options) (*Result, error) {
+	start := time.Now()
+	if cfg.LineSize <= 0 {
+		return nil, fmt.Errorf("core: line size must be positive")
+	}
+	if len(cfg.CacheSizes) == 0 {
+		return nil, fmt.Errorf("core: at least one cache size is required")
+	}
+	res := &Result{Kernel: prog.Name, Stats: Stats{NonAffineByAffineDims: map[int]int{}}}
+
+	info, err := scop.BuildPoly(prog)
+	if err != nil {
+		return nil, err
+	}
+	res.TotalAccesses, err = totalAccesses(info)
+	if err != nil {
+		return nil, err
+	}
+
+	symErr := analyzeSymbolically(info, cfg, opts, res)
+	if symErr != nil {
+		if !opts.TraceFallback {
+			return nil, symErr
+		}
+		if err := analyzeByProfiling(prog, cfg, res); err != nil {
+			return nil, err
+		}
+		res.UsedTraceFallback = true
+		res.FallbackReason = symErr.Error()
+	}
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// analyzeSymbolically runs the full symbolic pipeline, filling res.
+func analyzeSymbolically(info *scop.PolyInfo, cfg Config, opts Options, res *Result) error {
+	tStack := time.Now()
+	distances, err := ComputeStackDistances(info, cfg.LineSize)
+	if err != nil {
+		return err
+	}
+	res.Stats.StackDistanceTime = time.Since(tStack)
+	for _, d := range distances {
+		res.Stats.DistancePieces += d.Distance.NumPieces()
+	}
+
+	tComp := time.Now()
+	compulsory, perStmt, err := CountCompulsoryMisses(info, cfg.LineSize)
+	if err != nil {
+		return err
+	}
+	res.CompulsoryMisses = compulsory
+	res.PerStatementCompulsory = perStmt
+	res.Stats.CompulsoryTime = time.Since(tComp)
+
+	tCap := time.Now()
+	res.Levels = res.Levels[:0]
+	for _, size := range cfg.CacheSizes {
+		lines := size / cfg.LineSize
+		counter := newCapacityCounter(opts, &res.Stats)
+		capMisses, perStmtCap, err := counter.Count(distances, lines)
+		if err != nil {
+			return err
+		}
+		res.Levels = append(res.Levels, LevelResult{
+			CacheBytes:           size,
+			CapacityMisses:       capMisses,
+			TotalMisses:          capMisses + compulsory,
+			PerStatementCapacity: perStmtCap,
+		})
+	}
+	res.Stats.CapacityTime = time.Since(tCap)
+	return nil
+}
+
+// analyzeByProfiling computes exact miss counts by replaying the trace
+// through the stack distance profiler (problem size dependent, used only as
+// a fallback).
+func analyzeByProfiling(prog *scop.Program, cfg Config, res *Result) error {
+	layout := scop.NewLayout(prog, scop.LayoutPadded, cfg.LineSize)
+	cp, err := scop.Compile(prog, layout)
+	if err != nil {
+		return err
+	}
+	profile := reusedist.ProfileProgram(cp, cfg.LineSize)
+	res.CompulsoryMisses = profile.Compulsory
+	res.Levels = res.Levels[:0]
+	for _, size := range cfg.CacheSizes {
+		lines := size / cfg.LineSize
+		capMisses := profile.CapacityMissesFor(lines)
+		res.Levels = append(res.Levels, LevelResult{
+			CacheBytes:     size,
+			CapacityMisses: capMisses,
+			TotalMisses:    capMisses + profile.Compulsory,
+		})
+	}
+	return nil
+}
+
+// totalAccesses counts the dynamic memory accesses of the program (the
+// length of its trace) symbolically.
+func totalAccesses(info *scop.PolyInfo) (int64, error) {
+	var total int64
+	for _, ps := range info.Statements {
+		n, err := counting.CountSet(ps.Domain)
+		if err != nil {
+			// Fall back to enumeration of the iteration domain.
+			n, err = ps.Domain.CountByScan()
+			if err != nil {
+				return 0, err
+			}
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// StatementDistance pairs a statement with the piecewise quasi-polynomial
+// giving the backward stack distance of each of its accesses.
+type StatementDistance struct {
+	Statement string
+	// Distance maps every point of the statement instance space (loop
+	// variables plus the access dimension) that has a previous access to the
+	// same cache line to its stack distance; instances without previous
+	// access (compulsory misses) are outside all pieces.
+	Distance qpoly.PwQPoly
+}
+
+// Reference holds the exact miss counts obtained by replaying the trace,
+// with the same semantics the model uses: every level is a fully associative
+// LRU cache observing the full access stream.
+type Reference struct {
+	TotalAccesses    int64
+	CompulsoryMisses int64
+	// TotalMisses[i] is the number of misses of a fully associative LRU
+	// cache with capacity cfg.CacheSizes[i].
+	TotalMisses []int64
+}
+
+// SimulateReference computes the exact reference counts for the model: the
+// trace is replayed with the padded array layout the model assumes and the
+// stack distance profile yields the misses of every configured cache size.
+// It is the ground truth the model is validated against in the tests.
+func SimulateReference(prog *scop.Program, cfg Config) (Reference, error) {
+	layout := scop.NewLayout(prog, scop.LayoutPadded, cfg.LineSize)
+	cp, err := scop.Compile(prog, layout)
+	if err != nil {
+		return Reference{}, err
+	}
+	profile := reusedist.ProfileProgram(cp, cfg.LineSize)
+	ref := Reference{TotalAccesses: profile.Accesses, CompulsoryMisses: profile.Compulsory}
+	for _, size := range cfg.CacheSizes {
+		ref.TotalMisses = append(ref.TotalMisses, profile.MissesForCapacity(size/cfg.LineSize))
+	}
+	return ref, nil
+}
+
+// DetailedSimulation runs the trace-driven simulator (Dinero stand-in) on
+// the natural (unpadded) array layout with the given hierarchy; it is used
+// by the experiment harness for the set-associative and "measured"
+// configurations.
+func DetailedSimulation(prog *scop.Program, simCfg cachesim.Config) (cachesim.Result, error) {
+	layout := scop.NewLayout(prog, scop.LayoutNatural, simCfg.LineSize)
+	cp, err := scop.Compile(prog, layout)
+	if err != nil {
+		return cachesim.Result{}, err
+	}
+	return cachesim.Simulate(cp, simCfg)
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"haystack/internal/counting"
+	"haystack/internal/lexmin"
+	"haystack/internal/presburger"
+	"haystack/internal/qpoly"
+	"haystack/internal/scop"
+)
+
+// ComputeStackDistances derives, for every statement of the program, the
+// backward stack distance of each of its accesses as a piecewise
+// quasi-polynomial over the statement instance space (section 3.1 of the
+// paper).
+//
+// The construction follows the paper exactly:
+//
+//	E  = S ∘ A⁻¹ ∘ A ∘ S⁻¹            (accesses of the same cache line)
+//	N  = S⁻¹ ∘ lexmin(L≺ ∩ E) ∘ S     (next access of the same line)
+//	B  = S⁻¹ ∘ L⪯⁻¹ ∘ S               (instances executed before t)
+//	F  = (S⁻¹ ∘ L⪯ ∘ S) ∘ N⁻¹         (instances executed after the previous access)
+//	D  = |A ∘ (F ∩ B)|                (distinct lines touched in between)
+func ComputeStackDistances(info *scop.PolyInfo, lineSize int64) ([]StatementDistance, error) {
+	S := info.Schedule()
+	A := info.LineAccessMap(lineSize)
+	Sinv := S.Reverse()
+	schedSpace := info.ScheduleSpace()
+
+	// Schedule values to accessed cache lines and back.
+	schedToLine, err := Sinv.ApplyRange(A)
+	if err != nil {
+		return nil, fmt.Errorf("core: building schedule-to-line map: %w", err)
+	}
+	equal, err := schedToLine.ApplyRange(schedToLine.Reverse())
+	if err != nil {
+		return nil, fmt.Errorf("core: building equal map: %w", err)
+	}
+	equalMap, ok := equal.Get(scop.ScheduleSpaceName, scop.ScheduleSpaceName)
+	if !ok {
+		return nil, fmt.Errorf("core: program has no reuse at all (empty equal map)")
+	}
+
+	// Backward-in-time accesses of the same line; the lexicographically
+	// largest of them is the previous access. (The paper computes the next
+	// map N with a lexmin and inverts it; computing the previous map
+	// N⁻¹ directly with a lexmax is equivalent — see section 3.1 — and keeps
+	// every floor expression on the side of the target access, which is the
+	// side that survives the following compositions.)
+	backwardEqual := equalMap.Intersect(presburger.LexGT(schedSpace))
+	backwardEqual = simplifyMap(backwardEqual)
+	prevSched, err := lexmin.MapLexmax(backwardEqual)
+	if err != nil {
+		return nil, fmt.Errorf("core: previous-access lexmax: %w", err)
+	}
+	prevSchedUnion := presburger.NewUnionMap().Add(simplifyMap(prevSched))
+
+	// Convert schedule-value relations to statement-instance relations.
+	prev, err := composeAll(S, prevSchedUnion, Sinv)
+	if err != nil {
+		return nil, fmt.Errorf("core: previous map composition: %w", err)
+	}
+	lexLE := presburger.NewUnionMap().Add(presburger.LexLE(schedSpace))
+	lexGE := presburger.NewUnionMap().Add(presburger.LexGE(schedSpace))
+
+	backward, err := composeAll(S, lexGE, Sinv)
+	if err != nil {
+		return nil, fmt.Errorf("core: backward map: %w", err)
+	}
+	// forward = (S⁻¹ ∘ L⪯ ∘ S) ∘ N⁻¹: map to the previous access first, then
+	// to every instance executed at or after it.
+	afterPrev, err := composeAll(S, lexLE, Sinv)
+	if err != nil {
+		return nil, fmt.Errorf("core: forward map: %w", err)
+	}
+	forward, err := prev.ApplyRange(afterPrev)
+	if err != nil {
+		return nil, fmt.Errorf("core: forward map composition: %w", err)
+	}
+	forward = simplifyUnion(forward)
+
+	window := forward.Intersect(backward)
+	touched, err := window.ApplyRange(A)
+	if err != nil {
+		return nil, fmt.Errorf("core: touched lines composition: %w", err)
+	}
+
+	// Count the distinct lines per statement instance: one piecewise
+	// quasi-polynomial per statement, summed over the accessed arrays.
+	byStatement := map[string][]presburger.Map{}
+	for _, m := range touched.Maps() {
+		byStatement[m.InSpace().Name] = append(byStatement[m.InSpace().Name], m)
+	}
+	var result []StatementDistance
+	names := make([]string, 0, len(byStatement))
+	for name := range byStatement {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps, ok := info.StatementByName(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown statement %s in touched-line map", name)
+		}
+		total := qpoly.ZeroPw(ps.Space)
+		for _, m := range byStatement[name] {
+			card, err := counting.MapCard(simplifyMap(m))
+			if err != nil {
+				return nil, fmt.Errorf("core: counting touched lines for %s -> %s: %w", name, m.OutSpace().Name, err)
+			}
+			total = total.Add(card)
+		}
+		result = append(result, StatementDistance{Statement: name, Distance: total})
+	}
+	return result, nil
+}
+
+// composeAll composes three union maps left to right (apply a, then b, then c).
+func composeAll(a, b, c presburger.UnionMap) (presburger.UnionMap, error) {
+	ab, err := a.ApplyRange(b)
+	if err != nil {
+		return presburger.UnionMap{}, err
+	}
+	abc, err := ab.ApplyRange(c)
+	if err != nil {
+		return presburger.UnionMap{}, err
+	}
+	return simplifyUnion(abc), nil
+}
+
+// simplifyMap simplifies the basic maps of a map, drops detectably empty
+// ones, and removes syntactic duplicates (compositions through the lex-order
+// pieces frequently produce identical basic maps).
+func simplifyMap(m presburger.Map) presburger.Map {
+	var keep []presburger.BasicMap
+	seen := map[string]bool{}
+	for _, bm := range m.Basics() {
+		s, ok := bm.Simplify()
+		if !ok || s.DefinitelyEmpty() {
+			continue
+		}
+		key := s.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		keep = append(keep, s)
+	}
+	if len(keep) == 0 {
+		return presburger.EmptyMap(m.InSpace(), m.OutSpace())
+	}
+	return presburger.MapFromBasics(keep...)
+}
+
+func simplifyUnion(u presburger.UnionMap) presburger.UnionMap {
+	out := presburger.NewUnionMap()
+	for _, m := range u.Maps() {
+		s := simplifyMap(m)
+		if len(s.Basics()) > 0 {
+			out = out.Add(s)
+		}
+	}
+	return out
+}
+
+// CountCompulsoryMisses counts the first accesses of every cache line
+// (section 3.4). The total is the number of distinct lines touched by the
+// program; the per-statement attribution uses the first map
+// F = S⁻¹ ∘ lexmin(S ∘ A⁻¹), which assigns every line to the statement whose
+// access has the lexicographically smallest schedule value.
+func CountCompulsoryMisses(info *scop.PolyInfo, lineSize int64) (int64, map[string]int64, error) {
+	A := info.LineAccessMap(lineSize)
+	total, err := counting.CountSetRanges(A)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: counting distinct lines: %w", err)
+	}
+	perStmt, err := attributeCompulsory(info, lineSize)
+	if err != nil {
+		// Attribution is best effort: totals stay exact.
+		perStmt = nil
+	}
+	return total, perStmt, nil
+}
+
+// attributeCompulsory splits the compulsory misses by the statement that
+// performs the first access of every line.
+func attributeCompulsory(info *scop.PolyInfo, lineSize int64) (map[string]int64, error) {
+	S := info.Schedule()
+	A := info.LineAccessMap(lineSize)
+	// lines -> schedule values of accesses to them.
+	lineToSched, err := A.Reverse().ApplyRange(S)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for _, m := range lineToSched.Maps() {
+		first, err := lexmin.MapLexmin(simplifyMap(m))
+		if err != nil {
+			return nil, err
+		}
+		// Back to statement instances: lines -> first-touching instance.
+		firstInst, err := presburger.NewUnionMap().Add(first).ApplyRange(S.Reverse())
+		if err != nil {
+			return nil, err
+		}
+		for _, fm := range firstInst.Maps() {
+			n, err := counting.CountSet(mustDomain(fm))
+			if err != nil {
+				n, err = mustDomain(fm).CountByScan()
+				if err != nil {
+					return nil, err
+				}
+			}
+			out[fm.OutSpace().Name] += n
+		}
+	}
+	return out, nil
+}
+
+func mustDomain(m presburger.Map) presburger.Set {
+	d, err := m.Domain()
+	if err != nil {
+		// Fall back to an empty set; callers treat attribution as best
+		// effort.
+		return presburger.EmptySet(m.InSpace())
+	}
+	return d
+}

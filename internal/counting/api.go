@@ -1,0 +1,156 @@
+package counting
+
+import (
+	"fmt"
+
+	"haystack/internal/presburger"
+	"haystack/internal/qpoly"
+)
+
+// CountBasicSet returns the exact number of integer points of the basic set,
+// computed symbolically (no parameters).
+func CountBasicSet(bs presburger.BasicSet) (int64, error) {
+	pw, err := CardBasicSet(bs, 0, presburger.NewSpace(bs.Space().Name))
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, piece := range pw.Pieces {
+		if !piece.Domain.Contains(nil) {
+			continue
+		}
+		v := piece.Poly.Eval(nil)
+		if !v.IsInt() {
+			return 0, fmt.Errorf("%w: non-integer count %v", ErrUnsupported, v)
+		}
+		total += v.Int()
+	}
+	return total, nil
+}
+
+// CountSet returns the exact number of distinct integer points of the set.
+// Overlapping basic sets are made disjoint by subtraction before counting.
+func CountSet(s presburger.Set) (int64, error) {
+	disjoint, err := DisjointBasicSets(s)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, bs := range disjoint {
+		n, err := CountBasicSet(bs)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// DisjointBasicSets rewrites the union of basic sets of s into a list of
+// pairwise disjoint basic sets covering the same points.
+func DisjointBasicSets(s presburger.Set) ([]presburger.BasicSet, error) {
+	var out []presburger.BasicSet
+	covered := presburger.EmptySet(s.Space())
+	for _, bs := range s.Basics() {
+		rest := presburger.SetFromBasic(bs)
+		for _, c := range covered.Basics() {
+			rest = rest.Subtract(presburger.SetFromBasic(c))
+			if rest.DefinitelyEmpty() {
+				break
+			}
+		}
+		for _, r := range rest.Basics() {
+			if !r.DefinitelyEmpty() {
+				out = append(out, r)
+			}
+		}
+		covered = covered.Union(presburger.SetFromBasic(bs))
+	}
+	return out, nil
+}
+
+// DisjointBasicMaps rewrites the union of basic maps of m into pairwise
+// disjoint basic maps covering the same relation pairs.
+func DisjointBasicMaps(m presburger.Map) ([]presburger.BasicMap, error) {
+	var out []presburger.BasicMap
+	covered := presburger.EmptyMap(m.InSpace(), m.OutSpace())
+	for _, bm := range m.Basics() {
+		rest := presburger.MapFromBasic(bm)
+		for _, c := range covered.Basics() {
+			rest = rest.Subtract(presburger.MapFromBasic(c))
+			if rest.DefinitelyEmpty() {
+				break
+			}
+		}
+		for _, r := range rest.Basics() {
+			if !r.DefinitelyEmpty() {
+				out = append(out, r)
+			}
+		}
+		covered = covered.Union(presburger.MapFromBasic(bm))
+	}
+	return out, nil
+}
+
+// CardBasicMap counts, for every point of the input space, the number of
+// related output points of the basic map. The result is a piecewise
+// quasi-polynomial over the input space.
+func CardBasicMap(bm presburger.BasicMap) (qpoly.PwQPoly, error) {
+	return CardBasicSet(bm.AsSet(), bm.NIn(), bm.InSpace())
+}
+
+// MapCard counts, for every point of the input space, the number of distinct
+// related output points of the map (union semantics: an output point related
+// through several basic maps is counted once).
+func MapCard(m presburger.Map) (qpoly.PwQPoly, error) {
+	disjoint, err := DisjointBasicMaps(m)
+	if err != nil {
+		return qpoly.PwQPoly{}, err
+	}
+	total := qpoly.ZeroPw(m.InSpace())
+	for _, bm := range disjoint {
+		card, err := CardBasicMap(bm)
+		if err != nil {
+			return qpoly.PwQPoly{}, err
+		}
+		total = total.Add(card)
+	}
+	return total, nil
+}
+
+// CountMapPairs returns the exact number of distinct relation pairs of the
+// map.
+func CountMapPairs(m presburger.Map) (int64, error) {
+	disjoint, err := DisjointBasicMaps(m)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, bm := range disjoint {
+		n, err := CountBasicSet(bm.AsSet())
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// CountSetRanges counts the distinct points of the ranges of a union map per
+// output space (used for compulsory miss counting, where the range of the
+// cache line access map is the set of touched cache lines).
+func CountSetRanges(u presburger.UnionMap) (int64, error) {
+	ranges, err := u.Range()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, s := range ranges.Sets() {
+		n, err := CountSet(s)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}

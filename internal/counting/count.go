@@ -1,0 +1,539 @@
+package counting
+
+import (
+	"fmt"
+
+	"haystack/internal/ints"
+	"haystack/internal/presburger"
+	"haystack/internal/qpoly"
+)
+
+// CardBasicSet counts the integer points of bs parametrically in its first
+// nParam dimensions: the result maps every value of the parameter dimensions
+// to the number of points of the remaining dimensions. The piece domains of
+// the result live in paramSpace (which must have nParam dimensions).
+func CardBasicSet(bs presburger.BasicSet, nParam int, paramSpace presburger.Space) (qpoly.PwQPoly, error) {
+	if paramSpace.Dim() != nParam {
+		panic("counting: parameter space arity mismatch")
+	}
+	sys := newSystem(bs, nParam)
+	systems := []*system{sys}
+	for dim := bs.NDim() - 1; dim >= nParam; dim-- {
+		var next []*system
+		for _, s := range systems {
+			out, err := s.sumOutDim(dim)
+			if err != nil {
+				return qpoly.PwQPoly{}, err
+			}
+			for _, o := range out {
+				if !o.definitelyEmpty() {
+					next = append(next, o)
+				}
+			}
+		}
+		systems = next
+	}
+	// The surviving systems are summands: their parameter-space domains may
+	// overlap (they were made disjoint only with respect to the counted
+	// dimensions). Fold them into a disjoint piecewise quasi-polynomial so
+	// that every parameter point is covered by exactly one piece.
+	result := qpoly.ZeroPw(paramSpace)
+	for _, s := range systems {
+		piece, err := s.toPiece(paramSpace)
+		if err != nil {
+			return qpoly.PwQPoly{}, err
+		}
+		result = result.Add(qpoly.SinglePiece(piece.Domain, piece.Poly))
+	}
+	return result, nil
+}
+
+// toPiece converts a fully summed system (no counted dimension referenced)
+// into a result piece over the parameter space.
+func (s *system) toPiece(paramSpace presburger.Space) (qpoly.Piece, error) {
+	// Remap the polynomial onto the parameter variables.
+	varMap := make([]int, s.ndim)
+	for i := range varMap {
+		if i < s.nParam {
+			varMap[i] = i
+		} else {
+			varMap[i] = -1
+		}
+	}
+	poly, ok := s.poly.MapVars(s.nParam, varMap)
+	if !ok {
+		return qpoly.Piece{}, fmt.Errorf("%w: polynomial still references a counted dimension", ErrUnsupported)
+	}
+	// Rebuild the domain over the parameter dimensions only: drop the counted
+	// dimension columns (all unreferenced at this point).
+	shift := func(v presburger.Vec) (presburger.Vec, error) {
+		v = v.Resized(s.ncols())
+		out := presburger.NewVec(1 + s.nParam + len(s.divs))
+		out[0] = v[0]
+		for i := 0; i < s.nParam; i++ {
+			out[1+i] = v[s.dimCol(i)]
+		}
+		for i := s.nParam; i < s.ndim; i++ {
+			if v[s.dimCol(i)] != 0 {
+				return nil, fmt.Errorf("%w: counted dimension %d still referenced by the domain", ErrUnsupported, i)
+			}
+		}
+		for i := range s.divs {
+			out[1+s.nParam+i] = v[s.divCol(i)]
+		}
+		return out, nil
+	}
+	divs := make([]presburger.Div, len(s.divs))
+	for i, d := range s.divs {
+		num, err := shift(d.Num)
+		if err != nil {
+			return qpoly.Piece{}, err
+		}
+		divs[i] = presburger.Div{Num: num, Den: d.Den}
+	}
+	cons := make([]presburger.Constraint, len(s.cons))
+	for i, c := range s.cons {
+		cv, err := shift(c.C)
+		if err != nil {
+			return qpoly.Piece{}, err
+		}
+		cons[i] = presburger.Constraint{C: cv, Eq: c.Eq}
+	}
+	domain := presburger.NewBasicSet(paramSpace, divs, cons)
+	return qpoly.Piece{Domain: domain, Poly: poly}, nil
+}
+
+// sumOutDim sums the system over dimension dim, returning the resulting
+// sub-systems (one per generated piece). After the call none of the returned
+// systems references dim.
+func (s *system) sumOutDim(dim int) ([]*system, error) {
+	// Step 1: remove dependence of divs and polynomial atoms on dim by
+	// splitting dim into residue classes (rasterization at the counting
+	// level). This may need several rounds for nested divs.
+	systems := []*system{s}
+	for round := 0; round < 8; round++ {
+		var next []*system
+		changed := false
+		for _, sys := range systems {
+			if sys.hasDimDependentFloors(dim) {
+				changed = true
+				split, err := sys.splitResidues(dim)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, split...)
+			} else {
+				next = append(next, sys)
+			}
+		}
+		systems = next
+		if !changed {
+			break
+		}
+	}
+	for _, sys := range systems {
+		if sys.hasDimDependentFloors(dim) {
+			return nil, fmt.Errorf("%w: could not remove floor dependence on dimension %d", ErrUnsupported, dim)
+		}
+	}
+	// Step 2/3: eliminate via an equality or sum over the bounds.
+	var out []*system
+	for _, sys := range systems {
+		res, err := sys.sumOutDimNoFloors(dim)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// hasDimDependentFloors reports whether any div or polynomial atom depends on
+// the dimension.
+func (s *system) hasDimDependentFloors(dim int) bool {
+	dep := s.divDependsOnDim(dim)
+	for _, d := range dep {
+		if d {
+			return true
+		}
+	}
+	return len(s.poly.AtomsDependingOnVar(dim)) > 0
+}
+
+// splitResidues splits dimension dim into residue classes modulo the least
+// common multiple of the denominators of the floors that directly reference
+// it, substituting dim := P*t + r (the dimension column is reused for t).
+func (s *system) splitResidues(dim int) ([]*system, error) {
+	col := s.dimCol(dim)
+	var period int64 = 1
+	for _, d := range s.divs {
+		if d.Num.Resized(s.ncols())[col] != 0 {
+			period = ints.LCM(period, d.Den)
+		}
+	}
+	for _, a := range s.poly.Atoms {
+		if 1+dim < len(a.Num) && a.Num[1+dim] != 0 {
+			period = ints.LCM(period, a.Den)
+		}
+	}
+	if period == 1 {
+		// Only transitive dependence: substituting with period 1 makes no
+		// progress; report unsupported (rare nesting case).
+		return nil, fmt.Errorf("%w: nested floor dependence on dimension %d", ErrUnsupported, dim)
+	}
+	if period > 1024 {
+		return nil, fmt.Errorf("%w: residue period %d too large", ErrUnsupported, period)
+	}
+	var out []*system
+	for r := int64(0); r < period; r++ {
+		sub, err := s.substituteProgression(dim, period, r)
+		if err != nil {
+			return nil, err
+		}
+		if !sub.definitelyEmpty() {
+			out = append(out, sub)
+		}
+	}
+	return out, nil
+}
+
+// substituteProgression substitutes dim := P*dim + r throughout the system
+// (constraints, div numerators, polynomial) and simplifies divs that directly
+// referenced dim into an affine part plus a new dim-free div.
+func (s *system) substituteProgression(dim int, period, r int64) (*system, error) {
+	out := s.clone()
+	col := out.dimCol(dim)
+	// Constraints.
+	for i := range out.cons {
+		c := out.cons[i].C.Resized(out.ncols())
+		if a := c[col]; a != 0 {
+			c[0] += a * r
+			c[col] = a * period
+		}
+		out.cons[i].C = c
+	}
+	// Div numerators.
+	for i := range out.divs {
+		num := out.divs[i].Num.Resized(out.ncols())
+		if a := num[col]; a != 0 {
+			num[0] += a * r
+			num[col] = a * period
+		}
+		out.divs[i].Num = num
+	}
+	// Now rewrite divs that reference dim directly: floor((a*P*t + rest)/den)
+	// with den | a*P  ->  (a*P/den)*t + floor(rest/den).
+	for i := 0; i < len(out.divs); i++ {
+		num := out.divs[i].Num.Resized(out.ncols())
+		a := num[col]
+		if a == 0 {
+			continue
+		}
+		den := out.divs[i].Den
+		if a%den != 0 {
+			return nil, fmt.Errorf("%w: residual coefficient %d not divisible by %d after progression substitution", ErrUnsupported, a, den)
+		}
+		rest := num.Clone()
+		rest[col] = 0
+		newCol := out.addDiv(rest, den)
+		// Replace references to div i by (a/den)*t + newDiv.
+		oldCol := out.divCol(i)
+		factor := a / den
+		replace := func(v presburger.Vec) presburger.Vec {
+			v = v.Resized(out.ncols())
+			if k := v[oldCol]; k != 0 {
+				v[col] += k * factor
+				v[newCol] += k
+				v[oldCol] = 0
+			}
+			return v
+		}
+		for j := range out.cons {
+			out.cons[j].C = replace(out.cons[j].C)
+		}
+		for j := range out.divs {
+			if j == i {
+				continue
+			}
+			out.divs[j].Num = replace(out.divs[j].Num)
+		}
+		// Neutralize the old div so it no longer depends on dim (it is now
+		// unreferenced).
+		out.divs[i] = presburger.Div{Num: presburger.NewVec(out.ncols()), Den: 1}
+	}
+	// Polynomial. Two passes: first rewrite the explicit occurrences of dim
+	// (which still denote the original variable) as P*t + r, then rewrite the
+	// atoms that reference dim, whose replacement is already expressed in
+	// terms of the new progression variable t.
+	poly := out.poly
+	progression := qpoly.Var(poly.NVar, dim).Scale(ints.RatInt(period)).Add(qpoly.ConstInt(poly.NVar, r))
+	poly = poly.SubstitutePlainVar(dim, progression)
+	for {
+		idxs := directAtomRefs(poly, dim)
+		if len(idxs) == 0 {
+			break
+		}
+		idx := idxs[len(idxs)-1] // the highest dim-dependent atom is referenced by no other atom
+		a := poly.Atoms[idx]
+		coef := a.Num[1+dim]
+		if coef*period%a.Den != 0 {
+			return nil, fmt.Errorf("%w: polynomial atom coefficient %d not divisible by %d", ErrUnsupported, coef*period, a.Den)
+		}
+		// floor((coef*(P*t+r) + rest)/den) = (coef*P/den)*t + floor((coef*r + rest)/den).
+		restNum := append([]int64(nil), a.Num...)
+		restNum[1+dim] = 0
+		restNum[0] += coef * r
+		carrier, newIdx := poly.WithAtom(restNum, a.Den)
+		repl := carrier.AtomPoly(newIdx).Add(qpoly.Var(poly.NVar, dim).Scale(ints.RatInt(coef * period / a.Den)))
+		var ok bool
+		poly, ok = poly.SubstituteAtom(idx, repl)
+		if !ok {
+			return nil, fmt.Errorf("%w: atom substitution failed", ErrUnsupported)
+		}
+	}
+	out.poly = poly
+	return out, nil
+}
+
+// directAtomRefs returns the indices of atoms whose numerator directly
+// references the variable.
+func directAtomRefs(p qpoly.QPoly, v int) []int {
+	var out []int
+	for i, a := range p.Atoms {
+		if 1+v < len(a.Num) && a.Num[1+v] != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sumOutDimNoFloors eliminates dim under the precondition that no div or
+// polynomial atom depends on it.
+func (s *system) sumOutDimNoFloors(dim int) ([]*system, error) {
+	col := s.dimCol(dim)
+	// Equality strategy.
+	for i, c := range s.cons {
+		if c.Eq && c.C.Resized(s.ncols())[col] != 0 {
+			return s.eliminateByEquality(dim, i)
+		}
+	}
+	// Bound summation strategy.
+	var lowers, uppers []presburger.Constraint
+	var rest []presburger.Constraint
+	for _, c := range s.cons {
+		cc := c.C.Resized(s.ncols())
+		a := cc[col]
+		switch {
+		case a == 0:
+			rest = append(rest, presburger.Constraint{C: cc, Eq: c.Eq})
+		case a > 0:
+			lowers = append(lowers, presburger.Constraint{C: cc})
+		default:
+			uppers = append(uppers, presburger.Constraint{C: cc})
+		}
+	}
+	if !s.poly.UsesVar(dim) && len(lowers) == 0 && len(uppers) == 0 {
+		// Dimension is completely unconstrained and unused: it must have been
+		// eliminated earlier (projection); treat as a single-valued
+		// dimension would be wrong, so report unboundedness.
+		return nil, fmt.Errorf("%w: dimension %d", ErrUnbounded, dim)
+	}
+	if len(lowers) == 0 || len(uppers) == 0 {
+		return nil, fmt.Errorf("%w: dimension %d", ErrUnbounded, dim)
+	}
+	var out []*system
+	for li := range lowers {
+		for ui := range uppers {
+			sub, err := s.sumBetweenBounds(dim, lowers, uppers, li, ui, rest)
+			if err != nil {
+				return nil, err
+			}
+			if sub != nil && !sub.definitelyEmpty() {
+				out = append(out, sub)
+			}
+		}
+	}
+	return out, nil
+}
+
+// eliminateByEquality eliminates dim using the equality constraint at index
+// consIdx (a*dim + e == 0).
+func (s *system) eliminateByEquality(dim, consIdx int) ([]*system, error) {
+	out := s.clone()
+	col := out.dimCol(dim)
+	c := out.cons[consIdx].C.Resized(out.ncols())
+	a := c[col]
+	out.cons = append(out.cons[:consIdx], out.cons[consIdx+1:]...)
+
+	var exprVec presburger.Vec
+	den := ints.Abs(a)
+	// a*dim + e == 0  =>  dim = -e/a.
+	exprVec = presburger.NewVec(out.ncols())
+	for j := range c {
+		if j == col {
+			continue
+		}
+		if a > 0 {
+			exprVec[j] = -c[j]
+		} else {
+			exprVec[j] = c[j]
+		}
+	}
+	if den > 1 {
+		// dim = exprVec/den: introduce the div d = floor(exprVec/den) plus a
+		// divisibility constraint, and use d as the substitution expression.
+		dcol := out.addDiv(exprVec, den)
+		exprVec = exprVec.Resized(out.ncols())
+		divisibility := exprVec.Clone()
+		divisibility[dcol] -= den
+		out.cons = append(out.cons, presburger.Constraint{C: divisibility, Eq: true})
+		newExpr := presburger.NewVec(out.ncols())
+		newExpr[dcol] = 1
+		exprVec = newExpr
+	}
+	// Substitute in constraints and div numerators.
+	substitute := func(v presburger.Vec) presburger.Vec {
+		v = v.Resized(out.ncols())
+		k := v[col]
+		if k == 0 {
+			return v
+		}
+		nv := v.Clone()
+		for j := range nv {
+			nv[j] += k * exprVec.Resized(out.ncols())[j]
+		}
+		nv[col] = 0
+		return nv
+	}
+	for i := range out.cons {
+		out.cons[i].C = substitute(out.cons[i].C)
+	}
+	for i := range out.divs {
+		if out.divs[i].Num.Resized(out.ncols())[col] != 0 {
+			return nil, fmt.Errorf("%w: div still depends on substituted dimension", ErrUnsupported)
+		}
+	}
+	// Substitute in the polynomial.
+	if out.poly.UsesVar(dim) {
+		exprPoly := out.vecToQPoly(exprVec)
+		p, ok := out.poly.SubstituteVar(dim, exprPoly)
+		if !ok {
+			return nil, fmt.Errorf("%w: polynomial substitution failed", ErrUnsupported)
+		}
+		out.poly = p
+	}
+	return []*system{out}, nil
+}
+
+// sumBetweenBounds produces the sub-system for the piece on which lower
+// bound li and upper bound ui are the binding bounds, summing the polynomial
+// over that range.
+func (s *system) sumBetweenBounds(dim int, lowers, uppers []presburger.Constraint, li, ui int, rest []presburger.Constraint) (*system, error) {
+	out := s.clone()
+	col := out.dimCol(dim)
+	out.cons = nil
+	for _, c := range rest {
+		out.cons = append(out.cons, presburger.Constraint{C: c.C.Clone(), Eq: c.Eq})
+	}
+
+	boundVal := func(c presburger.Constraint) (coef int64, e presburger.Vec) {
+		cc := c.C.Resized(s.ncols())
+		e = cc.Clone()
+		coef = cc[col]
+		e[col] = 0
+		return coef, e
+	}
+
+	// Dominance constraints among lower bounds: chosen bound li is the
+	// largest; ties are broken towards the smaller index to keep pieces
+	// disjoint. lower bound value for constraint (a, e): -e/a.
+	aStar, eStar := boundVal(lowers[li])
+	for i := range lowers {
+		if i == li {
+			continue
+		}
+		ai, ei := boundVal(lowers[i])
+		// (-eStar)/aStar >= (-ei)/ai  <=>  aStar*ei - ai*eStar >= 0
+		c := presburger.NewVec(out.ncols())
+		for j := range c {
+			c[j] = aStar*ei.Resized(out.ncols())[j] - ai*eStar.Resized(out.ncols())[j]
+		}
+		if i < li {
+			c[0]-- // strict to keep pieces disjoint
+		}
+		out.cons = append(out.cons, presburger.Constraint{C: c})
+	}
+	bStar, fStar := boundVal(uppers[ui])
+	bStar = -bStar
+	for j := range uppers {
+		if j == ui {
+			continue
+		}
+		bj, fj := boundVal(uppers[j])
+		bj = -bj
+		// fStar/bStar <= fj/bj  <=>  bStar*fj - bj*fStar >= 0
+		c := presburger.NewVec(out.ncols())
+		for k := range c {
+			c[k] = bStar*fj.Resized(out.ncols())[k] - bj*fStar.Resized(out.ncols())[k]
+		}
+		if j < ui {
+			c[0]--
+		}
+		out.cons = append(out.cons, presburger.Constraint{C: c})
+	}
+
+	// Bound expressions: lo = ceil(-eStar/aStar), hi = floor(fStar/bStar).
+	loVec, loPoly, err := out.ceilExpr(eStar.Neg(), aStar)
+	if err != nil {
+		return nil, err
+	}
+	hiVec, hiPoly, err := out.floorExpr(fStar, bStar)
+	if err != nil {
+		return nil, err
+	}
+	// Piece requires lo <= hi: hi - lo >= 0.
+	nonEmpty := presburger.NewVec(out.ncols())
+	for j := range nonEmpty {
+		nonEmpty[j] = hiVec.Resized(out.ncols())[j] - loVec.Resized(out.ncols())[j]
+	}
+	out.cons = append(out.cons, presburger.Constraint{C: nonEmpty})
+
+	sum, ok := qpoly.SumOverRange(out.poly, dim, loPoly, hiPoly)
+	if !ok {
+		return nil, fmt.Errorf("%w: symbolic summation over dimension %d failed", ErrUnsupported, dim)
+	}
+	out.poly = sum
+	return out, nil
+}
+
+// ceilExpr returns ceil(e/a) for a > 0 as a column vector (adding a div when
+// a > 1) together with the equivalent quasi-polynomial.
+func (s *system) ceilExpr(e presburger.Vec, a int64) (presburger.Vec, qpoly.QPoly, error) {
+	if a <= 0 {
+		return nil, qpoly.QPoly{}, fmt.Errorf("%w: non-positive bound coefficient", ErrUnsupported)
+	}
+	if a == 1 {
+		v := e.Resized(s.ncols())
+		return v, s.vecToQPoly(v), nil
+	}
+	// ceil(e/a) = floor((e + a - 1)/a)
+	num := e.Resized(s.ncols()).Clone()
+	num[0] += a - 1
+	return s.floorExpr(num, a)
+}
+
+// floorExpr returns floor(e/a) for a > 0 as a column vector (adding a div
+// when a > 1) together with the equivalent quasi-polynomial.
+func (s *system) floorExpr(e presburger.Vec, a int64) (presburger.Vec, qpoly.QPoly, error) {
+	if a <= 0 {
+		return nil, qpoly.QPoly{}, fmt.Errorf("%w: non-positive bound coefficient", ErrUnsupported)
+	}
+	if a == 1 {
+		v := e.Resized(s.ncols())
+		return v, s.vecToQPoly(v), nil
+	}
+	dcol := s.addDiv(e.Resized(s.ncols()), a)
+	v := presburger.NewVec(s.ncols())
+	v[dcol] = 1
+	return v, s.vecToQPoly(v), nil
+}

@@ -1,0 +1,213 @@
+// Package counting implements symbolic cardinality computation for integer
+// sets and maps: the role the Barvinok library plays for the original
+// HayStack implementation.
+//
+// The engine counts by successive symbolic summation: the innermost counted
+// dimension is summed out with Faulhaber formulas, splitting the domain on
+// which lower/upper bound dominates and on residue classes whenever floor
+// expressions (divs) depend on the summed dimension. The result is a
+// piecewise quasi-polynomial in the parameter dimensions, exactly like the
+// quasi-polynomials barvinok produces. Inputs outside the supported
+// fragment report an error so that callers can fall back to enumeration,
+// mirroring the hybrid strategy of the paper.
+package counting
+
+import (
+	"errors"
+	"fmt"
+
+	"haystack/internal/ints"
+	"haystack/internal/presburger"
+	"haystack/internal/qpoly"
+)
+
+// ErrUnsupported reports that symbolic counting left the supported fragment.
+var ErrUnsupported = errors.New("counting: outside supported fragment")
+
+// ErrUnbounded reports an attempt to count an unbounded set.
+var ErrUnbounded = errors.New("counting: unbounded set")
+
+// system is the internal working state while summing out dimensions of one
+// basic set. Column layout of all vectors: [const, dims..., divs...]. The
+// first nParam dims are parameters (never summed); dims that have already
+// been summed keep their column but are unreferenced.
+type system struct {
+	space  presburger.Space
+	nParam int
+	ndim   int
+	divs   []presburger.Div
+	cons   []presburger.Constraint
+	poly   qpoly.QPoly // over ndim variables
+}
+
+func newSystem(bs presburger.BasicSet, nParam int) *system {
+	s := &system{
+		space:  bs.Space(),
+		nParam: nParam,
+		ndim:   bs.NDim(),
+		divs:   bs.Divs(),
+		cons:   bs.Constraints(),
+		poly:   qpoly.ConstInt(bs.NDim(), 1),
+	}
+	s.resize()
+	return s
+}
+
+func (s *system) ncols() int { return 1 + s.ndim + len(s.divs) }
+func (s *system) dimCol(i int) int { return 1 + i }
+func (s *system) divCol(i int) int { return 1 + s.ndim + i }
+
+func (s *system) clone() *system {
+	out := &system{space: s.space, nParam: s.nParam, ndim: s.ndim, poly: s.poly}
+	out.divs = make([]presburger.Div, len(s.divs))
+	for i, d := range s.divs {
+		out.divs[i] = presburger.Div{Num: d.Num.Clone(), Den: d.Den}
+	}
+	out.cons = make([]presburger.Constraint, len(s.cons))
+	for i, c := range s.cons {
+		out.cons[i] = presburger.Constraint{C: c.C.Clone(), Eq: c.Eq}
+	}
+	return out
+}
+
+// resize pads all vectors to the current column count.
+func (s *system) resize() {
+	n := s.ncols()
+	for i := range s.cons {
+		if len(s.cons[i].C) != n {
+			s.cons[i].C = s.cons[i].C.Resized(n)
+		}
+	}
+	for i := range s.divs {
+		if len(s.divs[i].Num) != n {
+			s.divs[i].Num = s.divs[i].Num.Resized(n)
+		}
+	}
+}
+
+// addDiv appends (or reuses) a div and returns its column index.
+func (s *system) addDiv(num presburger.Vec, den int64) int {
+	num = num.Resized(s.ncols())
+	for i, d := range s.divs {
+		if d.Den != den {
+			continue
+		}
+		same := true
+		dn := d.Num.Resized(s.ncols())
+		for j := range num {
+			if dn[j] != num[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return s.divCol(i)
+		}
+	}
+	s.divs = append(s.divs, presburger.Div{Num: num.Clone(), Den: den})
+	s.resize()
+	return s.divCol(len(s.divs) - 1)
+}
+
+// toBasicSet converts the system's constraints back into a basic set over the
+// full space (used for emptiness pruning).
+func (s *system) toBasicSet() presburger.BasicSet {
+	return presburger.NewBasicSet(s.space, s.divs, s.cons)
+}
+
+// definitelyEmpty reports whether the constraint system is detectably empty.
+func (s *system) definitelyEmpty() bool { return s.toBasicSet().DefinitelyEmpty() }
+
+// usesDim reports whether any constraint or div references the dimension,
+// directly or through a div.
+func (s *system) usesDim(dim int) bool {
+	col := s.dimCol(dim)
+	dep := s.divDependsOnDim(dim)
+	for _, c := range s.cons {
+		if c.C[col] != 0 {
+			return true
+		}
+		for i := range s.divs {
+			if dep[i] && c.C[s.divCol(i)] != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// divDependsOnDim reports, per div, whether its numerator references the
+// dimension directly or through another div.
+func (s *system) divDependsOnDim(dim int) []bool {
+	col := s.dimCol(dim)
+	dep := make([]bool, len(s.divs))
+	for i, d := range s.divs {
+		num := d.Num.Resized(s.ncols())
+		if num[col] != 0 {
+			dep[i] = true
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if dep[j] && num[s.divCol(j)] != 0 {
+				dep[i] = true
+				break
+			}
+		}
+	}
+	return dep
+}
+
+// vecToQPoly converts an affine column vector (over [const, dims, divs]) into
+// a quasi-polynomial over the dims, turning div references into floor atoms.
+// It returns the polynomial together with the (possibly extended) carrier
+// polynomial whose atom table now holds the needed atoms; callers that want
+// to combine the result with an existing polynomial simply Add them (atom
+// tables merge by structural identity).
+func (s *system) vecToQPoly(v presburger.Vec) qpoly.QPoly {
+	v = v.Resized(s.ncols())
+	p := qpoly.ConstInt(s.ndim, v[0])
+	for i := 0; i < s.ndim; i++ {
+		if c := v[s.dimCol(i)]; c != 0 {
+			p = p.Add(qpoly.Var(s.ndim, i).Scale(ints.RatInt(c)))
+		}
+	}
+	for i := range s.divs {
+		if c := v[s.divCol(i)]; c != 0 {
+			carrier, idx := s.ensureDivAtom(qpoly.Zero(s.ndim), i)
+			p = p.Add(carrier.AtomPoly(idx).Scale(ints.RatInt(c)))
+		}
+	}
+	return p
+}
+
+// ensureDivAtom extends poly with a floor atom mirroring div i (recursively
+// creating atoms for the divs it references) and returns the updated
+// polynomial and the atom index.
+func (s *system) ensureDivAtom(poly qpoly.QPoly, i int) (qpoly.QPoly, int) {
+	num := s.divs[i].Num.Resized(s.ncols())
+	refIdx := map[int]int{}
+	for j := 0; j < i; j++ {
+		if num[s.divCol(j)] != 0 {
+			poly, refIdx[j] = s.ensureDivAtom(poly, j)
+		}
+	}
+	for j := i; j < len(s.divs); j++ {
+		if num[s.divCol(j)] != 0 {
+			panic("counting: div references later div")
+		}
+	}
+	full := make([]int64, 1+s.ndim+len(poly.Atoms))
+	full[0] = num[0]
+	for v := 0; v < s.ndim; v++ {
+		full[1+v] = num[s.dimCol(v)]
+	}
+	for j, idx := range refIdx {
+		full[1+s.ndim+idx] += num[s.divCol(j)]
+	}
+	return poly.WithAtom(full, s.divs[i].Den)
+}
+
+// String renders the system for debugging.
+func (s *system) String() string {
+	return fmt.Sprintf("system{%v, poly=%s}", s.toBasicSet(), s.poly.StringWithNames(s.space.Dims))
+}

@@ -1,0 +1,132 @@
+// Package ints provides exact integer helpers used throughout the
+// polyhedral machinery: floor/ceil division, gcd/lcm, and a small exact
+// rational type over int64.
+//
+// All arithmetic is checked: results that would overflow int64 panic with a
+// descriptive message. The model operates on loop bounds and miss counts far
+// below 2^63, so an overflow always indicates a programming error rather
+// than a legitimate large value.
+package ints
+
+import "fmt"
+
+// AddChecked returns a+b and panics on overflow.
+func AddChecked(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		panic(fmt.Sprintf("ints: overflow in %d + %d", a, b))
+	}
+	return s
+}
+
+// SubChecked returns a-b and panics on overflow.
+func SubChecked(a, b int64) int64 {
+	d := a - b
+	if (b < 0 && a > 0 && d < 0) || (b > 0 && a < 0 && d > 0) {
+		panic(fmt.Sprintf("ints: overflow in %d - %d", a, b))
+	}
+	return d
+}
+
+// MulChecked returns a*b and panics on overflow.
+func MulChecked(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic(fmt.Sprintf("ints: overflow in %d * %d", a, b))
+	}
+	return p
+}
+
+// Abs returns the absolute value of a.
+func Abs(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Sign returns -1, 0, or 1 depending on the sign of a.
+func Sign(a int64) int {
+	switch {
+	case a < 0:
+		return -1
+	case a > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// GCD returns the non-negative greatest common divisor of a and b.
+// GCD(0, 0) is 0.
+func GCD(a, b int64) int64 {
+	a, b = Abs(a), Abs(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b. LCM(0, x) is 0.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	return MulChecked(Abs(a)/g, Abs(b))
+}
+
+// FloorDiv returns floor(a/b). b must be non-zero.
+func FloorDiv(a, b int64) int64 {
+	if b == 0 {
+		panic("ints: FloorDiv by zero")
+	}
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// CeilDiv returns ceil(a/b). b must be non-zero.
+func CeilDiv(a, b int64) int64 {
+	if b == 0 {
+		panic("ints: CeilDiv by zero")
+	}
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+// Mod returns the mathematical modulus a mod b, always in [0, |b|).
+func Mod(a, b int64) int64 {
+	if b == 0 {
+		panic("ints: Mod by zero")
+	}
+	m := a % b
+	if m < 0 {
+		m += Abs(b)
+	}
+	return m
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package ints
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b, floor, ceil int64
+	}{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{7, -2, -4, -3},
+		{-7, -2, 3, 4},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("FloorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := CeilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestFloorDivProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		q := FloorDiv(int64(a), int64(b))
+		r := int64(a) - q*int64(b)
+		// remainder has the sign of b and |r| < |b|
+		if b > 0 {
+			return r >= 0 && r < int64(b)
+		}
+		return r <= 0 && r > int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		return CeilDiv(int64(a), int64(b)) == -FloorDiv(-int64(a), int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		m := Mod(int64(a), int64(b))
+		return m >= 0 && m < Abs(int64(b)) && (int64(a)-m)%int64(b) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if GCD(0, 0) != 0 {
+		t.Errorf("GCD(0,0) = %d", GCD(0, 0))
+	}
+	if GCD(12, 18) != 6 {
+		t.Errorf("GCD(12,18) = %d", GCD(12, 18))
+	}
+	if GCD(-12, 18) != 6 {
+		t.Errorf("GCD(-12,18) = %d", GCD(-12, 18))
+	}
+	if LCM(4, 6) != 12 {
+		t.Errorf("LCM(4,6) = %d", LCM(4, 6))
+	}
+	if LCM(0, 5) != 0 {
+		t.Errorf("LCM(0,5) = %d", LCM(0, 5))
+	}
+}
+
+func TestGCDProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		g := GCD(int64(a), int64(b))
+		if g == 0 {
+			return a == 0 && b == 0
+		}
+		return int64(a)%g == 0 && int64(b)%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckedArithmetic(t *testing.T) {
+	if AddChecked(2, 3) != 5 || SubChecked(2, 3) != -1 || MulChecked(6, 7) != 42 {
+		t.Fatal("basic checked arithmetic wrong")
+	}
+	assertPanics(t, func() { AddChecked(math.MaxInt64, 1) })
+	assertPanics(t, func() { SubChecked(math.MinInt64, 1) })
+	assertPanics(t, func() { MulChecked(math.MaxInt64, 2) })
+	assertPanics(t, func() { FloorDiv(1, 0) })
+	assertPanics(t, func() { CeilDiv(1, 0) })
+	assertPanics(t, func() { Mod(1, 0) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestMinMaxSignAbs(t *testing.T) {
+	if Min(3, -2) != -2 || Max(3, -2) != 3 {
+		t.Fatal("Min/Max wrong")
+	}
+	if Sign(-5) != -1 || Sign(0) != 0 || Sign(9) != 1 {
+		t.Fatal("Sign wrong")
+	}
+	if Abs(-7) != 7 || Abs(7) != 7 {
+		t.Fatal("Abs wrong")
+	}
+}

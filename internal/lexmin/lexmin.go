@@ -1,0 +1,291 @@
+// Package lexmin computes parametric lexicographic minima and maxima of
+// integer maps: for every input point of a relation, the lexicographically
+// smallest (or largest) related output point. This is the role the
+// parametric integer programming component of isl plays for the original
+// HayStack, where it is used to build the "next" map (the following access
+// to the same cache line) and the "first" map (the first access to a line).
+//
+// The implementation pins output dimensions one at a time to their binding
+// lower bound, splitting the domain on which bound dominates, and then
+// combines the per-basic-map minima by comparing candidate solutions and
+// subtracting domains. Relations outside the supported quasi-affine fragment
+// report ErrUnsupported so callers can fall back to enumeration.
+package lexmin
+
+import (
+	"errors"
+	"fmt"
+
+	"haystack/internal/presburger"
+)
+
+// ErrUnsupported reports that the relation left the supported fragment.
+var ErrUnsupported = errors.New("lexmin: outside supported fragment")
+
+// MapLexmin returns the relation that maps every input point of m to the
+// lexicographically smallest output point m relates it to. The result is
+// single-valued and covers exactly the domain of m.
+func MapLexmin(m presburger.Map) (presburger.Map, error) {
+	result := presburger.EmptyMap(m.InSpace(), m.OutSpace())
+	first := true
+	for _, bm := range m.Basics() {
+		pieces, err := basicLexmin(bm)
+		if err != nil {
+			return presburger.Map{}, err
+		}
+		if len(pieces) == 0 {
+			continue
+		}
+		candidate := presburger.MapFromBasics(pieces...)
+		if first {
+			result = candidate
+			first = false
+			continue
+		}
+		combined, err := combineMin(result, candidate)
+		if err != nil {
+			return presburger.Map{}, err
+		}
+		result = combined
+	}
+	return result, nil
+}
+
+// MapLexmax returns the relation mapping every input point to the
+// lexicographically largest related output point.
+func MapLexmax(m presburger.Map) (presburger.Map, error) {
+	neg := negateOutputs(m)
+	mn, err := MapLexmin(neg)
+	if err != nil {
+		return presburger.Map{}, err
+	}
+	return negateOutputs(mn), nil
+}
+
+// negateOutputs composes m with the map y -> -y on its output space.
+func negateOutputs(m presburger.Map) presburger.Map {
+	sp := m.OutSpace()
+	n := sp.Dim()
+	bm := presburger.UniverseBasicMap(sp, sp)
+	for i := 0; i < n; i++ {
+		c := presburger.Constraint{C: presburger.NewVec(bm.NCols()), Eq: true}
+		c.C[1+i] = 1
+		c.C[1+n+i] = 1
+		bm = bm.AddConstraint(c)
+	}
+	out, err := m.ApplyRange(presburger.MapFromBasic(bm))
+	if err != nil {
+		// The negation map is a bijection defined by unit-coefficient
+		// equalities; composition with it cannot fail.
+		panic(fmt.Sprintf("lexmin: negation composition failed: %v", err))
+	}
+	return out
+}
+
+// basicLexmin computes the lexicographic minimum of a single basic map as a
+// union of single-valued basic maps with pairwise disjoint domains.
+func basicLexmin(bm presburger.BasicMap) ([]presburger.BasicMap, error) {
+	pieces := []presburger.BasicMap{bm}
+	nIn, nOut := bm.NIn(), bm.NOut()
+	for d := 0; d < nOut; d++ {
+		var next []presburger.BasicMap
+		for _, piece := range pieces {
+			split, err := pinDimension(piece, nIn, nOut, d)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range split {
+				if !s.DefinitelyEmpty() {
+					next = append(next, s)
+				}
+			}
+		}
+		pieces = next
+	}
+	return pieces, nil
+}
+
+// pinDimension pins output dimension d of the piece to its lexicographic
+// minimum, splitting on which lower bound dominates.
+func pinDimension(piece presburger.BasicMap, nIn, nOut, d int) ([]presburger.BasicMap, error) {
+	// Work on the exact projection onto the input dims plus outputs 0..d so
+	// the bounds on dimension d reflect the feasibility of the remaining
+	// output dimensions.
+	wrapped := piece.AsSet()
+	keep := nIn + d + 1
+	proj, err := wrapped.ProjectOut(keep, nIn+nOut-keep)
+	if err != nil {
+		return nil, fmt.Errorf("%w: projection failed: %v", ErrUnsupported, err)
+	}
+	proj, ok := proj.Simplify()
+	if !ok {
+		return nil, nil
+	}
+	col := 1 + nIn + d // column of y_d in the projection (and in the piece)
+	ncols := proj.NCols()
+	cons := proj.Constraints()
+	divs := proj.Divs()
+
+	// An equality already pins the dimension: nothing to do.
+	for _, c := range cons {
+		if c.Eq && col < len(c.C) && c.C[col] != 0 {
+			return []presburger.BasicMap{piece}, nil
+		}
+	}
+	type bound struct {
+		a int64           // positive coefficient of y_d
+		e presburger.Vec  // remainder: constraint is a*y_d + e >= 0
+	}
+	var lowers []bound
+	for _, c := range cons {
+		cc := c.C.Resized(ncols)
+		if cc[col] > 0 {
+			e := cc.Clone()
+			e[col] = 0
+			lowers = append(lowers, bound{a: cc[col], e: e})
+		}
+	}
+	if len(lowers) == 0 {
+		return nil, fmt.Errorf("%w: output dimension %d has no lower bound", ErrUnsupported, d)
+	}
+	projDims := nIn + d + 1
+	var out []presburger.BasicMap
+	for li, lb := range lowers {
+		p := piece
+		// Import the divs of the projection so bound expressions can refer to
+		// them; remap their columns onto the piece.
+		divMap := make([]int, len(divs))
+		for i, dv := range divs {
+			num := remapProjVec(dv.Num.Resized(ncols), projDims, p.NCols(), divMap[:i])
+			var dcol int
+			p, dcol = p.AddDiv(num, dv.Den)
+			divMap[i] = dcol
+		}
+		remap := func(v presburger.Vec) presburger.Vec {
+			return remapProjVec(v.Resized(ncols), projDims, p.NCols(), divMap)
+		}
+		// Dominance constraints: the chosen bound is the maximum.
+		for lj, other := range lowers {
+			if lj == li {
+				continue
+			}
+			// (-lb.e)/lb.a >= (-other.e)/other.a
+			// <=> lb.a*other.e - other.a*lb.e >= 0
+			c := presburger.NewVec(p.NCols())
+			lbe := remap(lb.e)
+			oe := remap(other.e)
+			for k := range c {
+				c[k] = lb.a*oe[k] - other.a*lbe[k]
+			}
+			if lj < li {
+				c[0]--
+			}
+			p = p.AddConstraint(presburger.Constraint{C: c})
+		}
+		// Pin y_d to ceil(-e/a).
+		if lb.a == 1 {
+			c := remap(lb.e)
+			c = c.Resized(p.NCols())
+			c[1+nIn+d] = 1
+			p = p.AddConstraint(presburger.Constraint{C: c, Eq: true})
+		} else {
+			// y_d == floor((-e + a - 1)/a)
+			num := remap(lb.e).Neg()
+			num[0] += lb.a - 1
+			var dcol int
+			p, dcol = p.AddDiv(num, lb.a)
+			c := presburger.NewVec(p.NCols())
+			c[1+nIn+d] = 1
+			c[dcol] = -1
+			p = p.AddConstraint(presburger.Constraint{C: c, Eq: true})
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// remapProjVec translates a vector over the projection's columns
+// [const, keptDims..., projDivs...] into the piece's columns
+// [const, in..., out..., pieceDivs...]. The kept dimensions are a prefix of
+// the piece's dimensions, so dimension columns map identically; projection
+// div columns are remapped via divMap (the already-imported divs).
+func remapProjVec(v presburger.Vec, projDims, pieceNCols int, divMap []int) presburger.Vec {
+	out := presburger.NewVec(pieceNCols)
+	for j, x := range v {
+		if x == 0 {
+			continue
+		}
+		switch {
+		case j == 0:
+			out[0] += x
+		case j <= projDims:
+			out[j] += x
+		default:
+			out[divMap[j-1-projDims]] += x
+		}
+	}
+	return out
+}
+
+// combineMin combines two single-valued relations into their pointwise
+// lexicographic minimum: where only one is defined it is used, where both
+// are defined the smaller output wins (ties go to the first relation).
+func combineMin(f, g presburger.Map) (presburger.Map, error) {
+	space := f.OutSpace()
+	fDom, err := f.Domain()
+	if err != nil {
+		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	gDom, err := g.Domain()
+	if err != nil {
+		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	fOnly := f.IntersectDomain(fDom.Subtract(gDom))
+	gOnly := g.IntersectDomain(gDom.Subtract(fDom))
+
+	lexLT := presburger.LexLT(space)
+	// f wins where f(x) < g(x): inputs for which some output of g is
+	// lexicographically larger than f(x).
+	fSmaller, err := f.ApplyRange(lexLT)
+	if err != nil {
+		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	fWinsDom, err := fSmaller.Intersect(g).Domain()
+	if err != nil {
+		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	gSmaller, err := g.ApplyRange(lexLT)
+	if err != nil {
+		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	gWinsDom, err := gSmaller.Intersect(f).Domain()
+	if err != nil {
+		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	// Ties: both defined and equal outputs; keep f there. The tie domain is
+	// the overlap minus both win domains.
+	overlap := fDom.Intersect(gDom)
+	tieDom := overlap.Subtract(fWinsDom).Subtract(gWinsDom)
+
+	result := fOnly.Union(gOnly).Union(f.IntersectDomain(fWinsDom)).Union(g.IntersectDomain(gWinsDom)).Union(f.IntersectDomain(tieDom))
+	return pruneEmpty(result), nil
+}
+
+func pruneEmpty(m presburger.Map) presburger.Map {
+	var keep []presburger.BasicMap
+	for _, bm := range m.Basics() {
+		simplified, ok := bm.Simplify()
+		if !ok {
+			continue
+		}
+		if simplified.DefinitelyEmpty() {
+			continue
+		}
+		keep = append(keep, simplified)
+	}
+	if len(keep) == 0 {
+		return presburger.EmptyMap(m.InSpace(), m.OutSpace())
+	}
+	return presburger.MapFromBasics(keep...)
+}
+

@@ -1,0 +1,89 @@
+package polybench
+
+import "haystack/internal/scop"
+
+// registerMedley adds the dynamic-programming and image-processing kernels.
+func registerMedley() {
+	// floyd-warshall: all-pairs shortest paths.
+	fwDims := dims{
+		Mini: {60}, Small: {180}, Medium: {500}, Large: {2800}, ExtraLarge: {5600},
+	}
+	register("floyd-warshall", "medley", func(s Size) *scop.Program {
+		n := fwDims.at(s)[0]
+		p := scop.NewProgram("floyd-warshall")
+		path := p.NewArray("path", elem, n, n)
+		k, i, j := v("k"), v("i"), v("j")
+		p.Add(
+			f(k, c(0), c(n), f(i, c(0), c(n), f(j, c(0), c(n),
+				st("S0", rd(path, x(i), x(j)), rd(path, x(i), x(k)), rd(path, x(k), x(j)), wr(path, x(i), x(j)))))),
+		)
+		return p
+	})
+
+	// nussinov: RNA secondary structure prediction (dynamic programming over
+	// an upper triangular table). The reference loop runs i = N-1 .. 0; it is
+	// expressed here with i = N-1-ii.
+	nussDims := dims{
+		Mini: {60}, Small: {180}, Medium: {500}, Large: {2500}, ExtraLarge: {5500},
+	}
+	register("nussinov", "medley", func(s Size) *scop.Program {
+		n := nussDims.at(s)[0]
+		p := scop.NewProgram("nussinov")
+		table := p.NewArray("table", elem, n, n)
+		seq := p.NewArray("seq", elem, n)
+		ii, j, k := v("ii"), v("j"), v("k")
+		// i = n-1-ii
+		i := c(n - 1).Minus(x(ii))
+		p.Add(
+			f(ii, c(0), c(n), f(j, c(n).Minus(x(ii)), c(n),
+				// if j-1 >= 0:     table[i][j] = max(table[i][j], table[i][j-1])
+				st("S0", rd(table, i, x(j)), rd(table, i, x(j).Minus(c(1))), wr(table, i, x(j))),
+				// if i+1 < N:      table[i][j] = max(table[i][j], table[i+1][j])
+				st("S1", rd(table, i, x(j)), rd(table, i.Plus(c(1)), x(j)), wr(table, i, x(j))),
+				// pairing with sequence elements.
+				st("S2", rd(table, i, x(j)), rd(table, i.Plus(c(1)), x(j).Minus(c(1))), rd(seq, i), rd(seq, x(j)), wr(table, i, x(j))),
+				// for k in (i, j): table[i][j] = max(table[i][j], table[i][k]+table[k+1][j])
+				f(k, c(n).Minus(x(ii)), x(j),
+					st("S3", rd(table, i, x(j)), rd(table, i, x(k)), rd(table, x(k).Plus(c(1)), x(j)), wr(table, i, x(j)))))),
+		)
+		return p
+	})
+
+	// deriche: recursive Gaussian edge detection filter. The backward passes
+	// of the reference implementation are expressed with ascending loop
+	// variables (j = W-1-jb, i = H-1-ib).
+	dericheDims := dims{
+		Mini: {64, 64}, Small: {192, 128}, Medium: {720, 480}, Large: {4096, 2160}, ExtraLarge: {7680, 4320},
+	}
+	register("deriche", "medley", func(s Size) *scop.Program {
+		d := dericheDims.at(s)
+		w, h := d[0], d[1]
+		p := scop.NewProgram("deriche")
+		imgIn := p.NewArray("imgIn", elem, w, h)
+		imgOut := p.NewArray("imgOut", elem, w, h)
+		y1 := p.NewArray("y1", elem, w, h)
+		y2 := p.NewArray("y2", elem, w, h)
+		i1, j1, i2, j2b, i3, j3, i4b, j4, i5, j5 := v("i1"), v("j1"), v("i2"), v("j2b"), v("i3"), v("j3"), v("i4b"), v("j4"), v("i5"), v("j5")
+		p.Add(
+			// Horizontal forward pass: y1[i][j] from imgIn[i][j] and y1[i][j-1..2]
+			// (the scalar carried state ym1/ym2 is kept in registers, so only
+			// the array accesses appear).
+			f(i1, c(0), c(w), f(j1, c(0), c(h),
+				st("S0", rd(imgIn, x(i1), x(j1)), wr(y1, x(i1), x(j1))))),
+			// Horizontal backward pass: j = H-1-j2b.
+			f(i2, c(0), c(w), f(j2b, c(0), c(h),
+				st("S1", rd(imgIn, x(i2), c(h-1).Minus(x(j2b))), wr(y2, x(i2), c(h-1).Minus(x(j2b)))))),
+			// Combine the two passes.
+			f(i3, c(0), c(w), f(j3, c(0), c(h),
+				st("S2", rd(y1, x(i3), x(j3)), rd(y2, x(i3), x(j3)), wr(imgOut, x(i3), x(j3))))),
+			// Vertical forward pass: i = i4 ascending over rows of imgOut.
+			f(i4b, c(0), c(w), f(j4, c(0), c(h),
+				st("S3", rd(imgOut, x(i4b), x(j4)), wr(y1, x(i4b), x(j4))))),
+			// Vertical backward pass and final combination.
+			f(i5, c(0), c(w), f(j5, c(0), c(h),
+				st("S4", rd(imgOut, c(w-1).Minus(x(i5)), x(j5)), wr(y2, c(w-1).Minus(x(i5)), x(j5)),
+					rd(y1, c(w-1).Minus(x(i5)), x(j5)), rd(y2, c(w-1).Minus(x(i5)), x(j5)), wr(imgOut, c(w-1).Minus(x(i5)), x(j5))))),
+		)
+		return p
+	})
+}

@@ -1,0 +1,237 @@
+package polybench
+
+import "haystack/internal/scop"
+
+// registerSolvers adds the linear system solvers and factorizations.
+func registerSolvers() {
+	// cholesky: in-place Cholesky factorization.
+	choleskyDims := dims{
+		Mini: {40}, Small: {120}, Medium: {400}, Large: {2000}, ExtraLarge: {4000},
+	}
+	register("cholesky", "solver", func(s Size) *scop.Program {
+		n := choleskyDims.at(s)[0]
+		p := scop.NewProgram("cholesky")
+		A := p.NewArray("A", elem, n, n)
+		i, j, k, k2 := v("i"), v("j"), v("k"), v("k2")
+		p.Add(
+			f(i, c(0), c(n),
+				f(j, c(0), x(i),
+					f(k, c(0), x(j),
+						st("S0", rd(A, x(i), x(k)), rd(A, x(j), x(k)), rd(A, x(i), x(j)), wr(A, x(i), x(j)))),
+					st("S1", rd(A, x(i), x(j)), rd(A, x(j), x(j)), wr(A, x(i), x(j)))),
+				f(k2, c(0), x(i),
+					st("S2", rd(A, x(i), x(k2)), rd(A, x(i), x(i)), wr(A, x(i), x(i)))),
+				st("S3", rd(A, x(i), x(i)), wr(A, x(i), x(i)))),
+		)
+		return p
+	})
+
+	// lu: LU decomposition without pivoting.
+	luDims := dims{
+		Mini: {40}, Small: {120}, Medium: {400}, Large: {2000}, ExtraLarge: {4000},
+	}
+	register("lu", "solver", func(s Size) *scop.Program {
+		n := luDims.at(s)[0]
+		p := scop.NewProgram("lu")
+		A := p.NewArray("A", elem, n, n)
+		i, j, k, j2, k2 := v("i"), v("j"), v("k"), v("j2"), v("k2")
+		p.Add(
+			f(i, c(0), c(n),
+				f(j, c(0), x(i),
+					f(k, c(0), x(j),
+						st("S0", rd(A, x(i), x(k)), rd(A, x(k), x(j)), rd(A, x(i), x(j)), wr(A, x(i), x(j)))),
+					st("S1", rd(A, x(i), x(j)), rd(A, x(j), x(j)), wr(A, x(i), x(j)))),
+				f(j2, x(i), c(n),
+					f(k2, c(0), x(i),
+						st("S2", rd(A, x(i), x(k2)), rd(A, x(k2), x(j2)), rd(A, x(i), x(j2)), wr(A, x(i), x(j2)))))),
+		)
+		return p
+	})
+
+	// ludcmp: LU decomposition plus forward and backward substitution.
+	register("ludcmp", "solver", func(s Size) *scop.Program {
+		n := luDims.at(s)[0]
+		p := scop.NewProgram("ludcmp")
+		A := p.NewArray("A", elem, n, n)
+		b := p.NewArray("b", elem, n)
+		ya := p.NewArray("y", elem, n)
+		xa := p.NewArray("x", elem, n)
+		i, j, k, j2, k2 := v("i"), v("j"), v("k"), v("j2"), v("k2")
+		fi, fj := v("fi"), v("fj")
+		bi, bj := v("bi"), v("bj")
+		p.Add(
+			// Factorization (same access pattern as lu).
+			f(i, c(0), c(n),
+				f(j, c(0), x(i),
+					f(k, c(0), x(j),
+						st("S0", rd(A, x(i), x(k)), rd(A, x(k), x(j)), rd(A, x(i), x(j)), wr(A, x(i), x(j)))),
+					st("S1", rd(A, x(i), x(j)), rd(A, x(j), x(j)), wr(A, x(i), x(j)))),
+				f(j2, x(i), c(n),
+					f(k2, c(0), x(i),
+						st("S2", rd(A, x(i), x(k2)), rd(A, x(k2), x(j2)), rd(A, x(i), x(j2)), wr(A, x(i), x(j2)))))),
+			// Forward substitution: y[fi] = b[fi] - sum_j A[fi][fj]*y[fj].
+			f(fi, c(0), c(n),
+				st("S3", rd(b, x(fi)), wr(ya, x(fi))),
+				f(fj, c(0), x(fi),
+					st("S4", rd(A, x(fi), x(fj)), rd(ya, x(fj)), rd(ya, x(fi)), wr(ya, x(fi)))),
+				st("S5", rd(ya, x(fi)), rd(A, x(fi), x(fi)), wr(ya, x(fi)))),
+			// Backward substitution, expressed with an ascending variable:
+			// the original loop runs i = N-1 .. 0, so i = N-1-bi.
+			f(bi, c(0), c(n),
+				st("S6", rd(ya, c(n-1).Minus(x(bi))), wr(xa, c(n-1).Minus(x(bi)))),
+				f(bj, c(n).Minus(x(bi)), c(n),
+					st("S7", rd(A, c(n-1).Minus(x(bi)), x(bj)), rd(xa, x(bj)),
+						rd(xa, c(n-1).Minus(x(bi))), wr(xa, c(n-1).Minus(x(bi))))),
+				st("S8", rd(xa, c(n-1).Minus(x(bi))), rd(A, c(n-1).Minus(x(bi)), c(n-1).Minus(x(bi))), wr(xa, c(n-1).Minus(x(bi))))),
+		)
+		return p
+	})
+
+	// trisolv: forward substitution with a lower triangular matrix.
+	register("trisolv", "solver", func(s Size) *scop.Program {
+		n := luDims.at(s)[0]
+		p := scop.NewProgram("trisolv")
+		L := p.NewArray("L", elem, n, n)
+		xa := p.NewArray("x", elem, n)
+		b := p.NewArray("b", elem, n)
+		i, j := v("i"), v("j")
+		p.Add(
+			f(i, c(0), c(n),
+				st("S0", rd(b, x(i)), wr(xa, x(i))),
+				f(j, c(0), x(i),
+					st("S1", rd(L, x(i), x(j)), rd(xa, x(j)), rd(xa, x(i)), wr(xa, x(i)))),
+				st("S2", rd(xa, x(i)), rd(L, x(i), x(i)), wr(xa, x(i)))),
+		)
+		return p
+	})
+
+	// durbin: Toeplitz system solver (Levinson-Durbin recursion).
+	durbinDims := dims{
+		Mini: {40}, Small: {120}, Medium: {400}, Large: {2000}, ExtraLarge: {4000},
+	}
+	register("durbin", "solver", func(s Size) *scop.Program {
+		n := durbinDims.at(s)[0]
+		p := scop.NewProgram("durbin")
+		r := p.NewArray("r", elem, n)
+		ya := p.NewArray("y", elem, n)
+		z := p.NewArray("z", elem, n)
+		k, i, i2, i3 := v("k"), v("i"), v("i2"), v("i3")
+		p.Add(
+			st("Sinit", rd(r, c(0)), wr(ya, c(0))),
+			f(k, c(1), c(n),
+				// sum += r[k-i-1]*y[i]
+				f(i, c(0), x(k),
+					st("S0", rd(r, x(k).Minus(x(i)).Minus(c(1))), rd(ya, x(i)))),
+				// alpha = -(r[k]+sum)/beta
+				st("S1", rd(r, x(k))),
+				// z[i] = y[i] + alpha*y[k-i-1]
+				f(i2, c(0), x(k),
+					st("S2", rd(ya, x(i2)), rd(ya, x(k).Minus(x(i2)).Minus(c(1))), wr(z, x(i2)))),
+				// y[i] = z[i]
+				f(i3, c(0), x(k),
+					st("S3", rd(z, x(i3)), wr(ya, x(i3)))),
+				// y[k] = alpha
+				st("S4", wr(ya, x(k)))),
+		)
+		return p
+	})
+
+	// gramschmidt: modified Gram-Schmidt QR decomposition.
+	gramDims := dims{
+		Mini: {20, 30}, Small: {60, 80}, Medium: {200, 240}, Large: {1000, 1200}, ExtraLarge: {2000, 2600},
+	}
+	register("gramschmidt", "solver", func(s Size) *scop.Program {
+		d := gramDims.at(s)
+		m, n := d[0], d[1]
+		p := scop.NewProgram("gramschmidt")
+		A := p.NewArray("A", elem, m, n)
+		R := p.NewArray("R", elem, n, n)
+		Q := p.NewArray("Q", elem, m, n)
+		k, i, i2, j, i3, i4 := v("k"), v("i"), v("i2"), v("j"), v("i3"), v("i4")
+		p.Add(
+			f(k, c(0), c(n),
+				// nrm += A[i][k]*A[i][k]
+				f(i, c(0), c(m),
+					st("S0", rd(A, x(i), x(k)))),
+				// R[k][k] = sqrt(nrm)
+				st("S1", wr(R, x(k), x(k))),
+				// Q[i][k] = A[i][k]/R[k][k]
+				f(i2, c(0), c(m),
+					st("S2", rd(A, x(i2), x(k)), rd(R, x(k), x(k)), wr(Q, x(i2), x(k)))),
+				f(j, x(k).Plus(c(1)), c(n),
+					st("S3", wr(R, x(k), x(j))),
+					f(i3, c(0), c(m),
+						st("S4", rd(Q, x(i3), x(k)), rd(A, x(i3), x(j)), rd(R, x(k), x(j)), wr(R, x(k), x(j)))),
+					f(i4, c(0), c(m),
+						st("S5", rd(A, x(i4), x(j)), rd(Q, x(i4), x(k)), rd(R, x(k), x(j)), wr(A, x(i4), x(j)))))),
+		)
+		return p
+	})
+}
+
+// registerDataMining adds the data mining kernels.
+func registerDataMining() {
+	dmDims := dims{
+		Mini: {28, 32}, Small: {80, 100}, Medium: {240, 260}, Large: {1200, 1400}, ExtraLarge: {2600, 3000},
+	}
+	// covariance: M attributes, N observations.
+	register("covariance", "datamining", func(s Size) *scop.Program {
+		d := dmDims.at(s)
+		m, n := d[0], d[1]
+		p := scop.NewProgram("covariance")
+		data := p.NewArray("data", elem, n, m)
+		cov := p.NewArray("cov", elem, m, m)
+		mean := p.NewArray("mean", elem, m)
+		j, i, i2, j2, i3, j3, k := v("j"), v("i"), v("i2"), v("j2"), v("i3"), v("j3"), v("k")
+		p.Add(
+			f(j, c(0), c(m),
+				st("S0", wr(mean, x(j))),
+				f(i, c(0), c(n),
+					st("S1", rd(data, x(i), x(j)), rd(mean, x(j)), wr(mean, x(j)))),
+				st("S2", rd(mean, x(j)), wr(mean, x(j)))),
+			f(i2, c(0), c(n), f(j2, c(0), c(m),
+				st("S3", rd(data, x(i2), x(j2)), rd(mean, x(j2)), wr(data, x(i2), x(j2))))),
+			f(i3, c(0), c(m), f(j3, x(i3), c(m),
+				st("S4", wr(cov, x(i3), x(j3))),
+				f(k, c(0), c(n),
+					st("S5", rd(data, x(k), x(i3)), rd(data, x(k), x(j3)), rd(cov, x(i3), x(j3)), wr(cov, x(i3), x(j3)))),
+				st("S6", rd(cov, x(i3), x(j3)), wr(cov, x(i3), x(j3))),
+				st("S7", rd(cov, x(i3), x(j3)), wr(cov, x(j3), x(i3))))),
+		)
+		return p
+	})
+
+	// correlation: covariance plus standard deviation normalization.
+	register("correlation", "datamining", func(s Size) *scop.Program {
+		d := dmDims.at(s)
+		m, n := d[0], d[1]
+		p := scop.NewProgram("correlation")
+		data := p.NewArray("data", elem, n, m)
+		corr := p.NewArray("corr", elem, m, m)
+		mean := p.NewArray("mean", elem, m)
+		stddev := p.NewArray("stddev", elem, m)
+		j, i, j1, i1, i2, j2, i3, i4, j4, k := v("j"), v("i"), v("j1"), v("i1"), v("i2"), v("j2"), v("i3"), v("i4"), v("j4"), v("k")
+		p.Add(
+			f(j, c(0), c(m),
+				st("S0", wr(mean, x(j))),
+				f(i, c(0), c(n),
+					st("S1", rd(data, x(i), x(j)), rd(mean, x(j)), wr(mean, x(j)))),
+				st("S2", rd(mean, x(j)), wr(mean, x(j)))),
+			f(j1, c(0), c(m),
+				st("S3", wr(stddev, x(j1))),
+				f(i1, c(0), c(n),
+					st("S4", rd(data, x(i1), x(j1)), rd(mean, x(j1)), rd(stddev, x(j1)), wr(stddev, x(j1)))),
+				st("S5", rd(stddev, x(j1)), wr(stddev, x(j1)))),
+			f(i2, c(0), c(n), f(j2, c(0), c(m),
+				st("S6", rd(data, x(i2), x(j2)), rd(mean, x(j2)), rd(stddev, x(j2)), wr(data, x(i2), x(j2))))),
+			f(i3, c(0), c(m),
+				st("S7", wr(corr, x(i3), x(i3)))),
+			f(i4, c(0), c(m).Minus(c(1)), f(j4, x(i4).Plus(c(1)), c(m),
+				st("S8", wr(corr, x(i4), x(j4))),
+				f(k, c(0), c(n),
+					st("S9", rd(data, x(k), x(i4)), rd(data, x(k), x(j4)), rd(corr, x(i4), x(j4)), wr(corr, x(i4), x(j4)))),
+				st("S10", rd(corr, x(i4), x(j4)), wr(corr, x(j4), x(i4))))),
+		)
+		return p
+	})
+}

@@ -1,0 +1,566 @@
+package presburger
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"haystack/internal/ints"
+)
+
+// Div is a local variable defined as floor(Num·cols / Den) with Den > 0.
+// Num is a full-width vector over the columns of the owning basic set or
+// map; the coefficient of the div itself and of later divs must be zero.
+type Div struct {
+	Num Vec
+	Den int64
+}
+
+// Clone returns a deep copy of the div.
+func (d Div) Clone() Div { return Div{Num: d.Num.Clone(), Den: d.Den} }
+
+// Constraint is an affine constraint C·cols >= 0, or C·cols == 0 when Eq is
+// set, over the columns of the owning basic set or map.
+type Constraint struct {
+	C  Vec
+	Eq bool
+}
+
+// Clone returns a deep copy of the constraint.
+func (c Constraint) Clone() Constraint { return Constraint{C: c.C.Clone(), Eq: c.Eq} }
+
+// basic is the shared representation behind BasicSet and BasicMap: ndim real
+// tuple dimensions (for a map, input dims followed by output dims), a list
+// of local div variables, and a conjunction of constraints. The column
+// layout of every Vec is [const, dim_0..dim_{ndim-1}, div_0..div_{k-1}].
+type basic struct {
+	ndim int
+	divs []Div
+	cons []Constraint
+}
+
+func newBasic(ndim int) basic { return basic{ndim: ndim} }
+
+// ncols returns the number of columns of vectors in b.
+func (b *basic) ncols() int { return 1 + b.ndim + len(b.divs) }
+
+// divCol returns the column index of div i.
+func (b *basic) divCol(i int) int { return 1 + b.ndim + i }
+
+// dimCol returns the column index of dim i.
+func (b *basic) dimCol(i int) int { return 1 + i }
+
+func (b *basic) clone() basic {
+	nb := basic{ndim: b.ndim}
+	nb.divs = make([]Div, len(b.divs))
+	for i, d := range b.divs {
+		nb.divs[i] = d.Clone()
+	}
+	nb.cons = make([]Constraint, len(b.cons))
+	for i, c := range b.cons {
+		nb.cons[i] = c.Clone()
+	}
+	return nb
+}
+
+// resize pads every vector in b to the current ncols (after divs changed).
+func (b *basic) resize() {
+	n := b.ncols()
+	for i := range b.cons {
+		if len(b.cons[i].C) != n {
+			b.cons[i].C = b.cons[i].C.Resized(n)
+		}
+	}
+	for i := range b.divs {
+		if len(b.divs[i].Num) != n {
+			b.divs[i].Num = b.divs[i].Num.Resized(n)
+		}
+	}
+}
+
+// addConstraint appends a constraint, padding it to the current width.
+func (b *basic) addConstraint(c Constraint) {
+	c.C = c.C.Resized(b.ncols())
+	b.cons = append(b.cons, c)
+}
+
+// addDiv appends a div with the given numerator (any width; padded or
+// truncated checked) and denominator, returning its column index. If an
+// identical div already exists its column is returned instead.
+func (b *basic) addDiv(num Vec, den int64) int {
+	if den <= 0 {
+		panic("presburger: div with non-positive denominator")
+	}
+	num = num.Resized(b.ncols())
+	// Normalize by gcd of numerator and denominator? Keep literal: floor
+	// semantics change under scaling only if all terms share a factor with
+	// the denominator; normalize when gcd divides everything exactly.
+	for i, d := range b.divs {
+		if d.Den != den {
+			continue
+		}
+		same := true
+		dn := d.Num.Resized(b.ncols())
+		for j := range num {
+			if dn[j] != num[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return b.divCol(i)
+		}
+	}
+	b.divs = append(b.divs, Div{Num: num, Den: den})
+	b.resize()
+	return b.divCol(len(b.divs) - 1)
+}
+
+// divValue evaluates div i given values for every column before it.
+// vals must have length >= divCol(i).
+func (b *basic) divValue(i int, vals []int64) int64 {
+	d := b.divs[i]
+	var s int64
+	for j := 0; j < b.divCol(i) && j < len(d.Num); j++ {
+		s += d.Num[j] * vals[j]
+	}
+	return ints.FloorDiv(s, d.Den)
+}
+
+// evalColumns computes the full column vector [1, point..., divs...] for a
+// point with the given dimension values.
+func (b *basic) evalColumns(point []int64) []int64 {
+	if len(point) != b.ndim {
+		panic("presburger: point arity mismatch")
+	}
+	vals := make([]int64, b.ncols())
+	vals[0] = 1
+	copy(vals[1:], point)
+	for i := range b.divs {
+		vals[b.divCol(i)] = b.divValue(i, vals)
+	}
+	return vals
+}
+
+// contains reports whether the point satisfies all constraints of b.
+func (b *basic) contains(point []int64) bool {
+	vals := b.evalColumns(point)
+	for _, c := range b.cons {
+		v := c.C.Dot(vals)
+		if c.Eq && v != 0 {
+			return false
+		}
+		if !c.Eq && v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeConstraint divides a constraint by the gcd of its non-constant
+// coefficients and tightens the constant term of inequalities.
+func normalizeConstraint(c Constraint) Constraint {
+	var g int64
+	for _, x := range c.C[1:] {
+		g = ints.GCD(g, x)
+	}
+	if g == 0 {
+		return c
+	}
+	if g > 1 {
+		out := c.Clone()
+		for i := 1; i < len(out.C); i++ {
+			out.C[i] /= g
+		}
+		if c.Eq {
+			// g must divide the constant for solutions to exist; if it does
+			// not, leave the constraint unscaled (it will make the basic
+			// set empty, which simplify detects elsewhere).
+			if c.C[0]%g != 0 {
+				return c
+			}
+			out.C[0] = c.C[0] / g
+		} else {
+			out.C[0] = ints.FloorDiv(c.C[0], g)
+		}
+		return out
+	}
+	return c
+}
+
+// normalizeDivs simplifies div definitions: common factors between the
+// denominator and the non-constant numerator coefficients are divided out
+// (floor((8i+c)/64) becomes floor((i+floor(c/8))/8)), and divs whose
+// denominator divides every non-constant coefficient are resolved into
+// affine expressions and removed (floor(8i/8) becomes i).
+func (b *basic) normalizeDivs() {
+	for i := 0; i < len(b.divs); i++ {
+		d := &b.divs[i]
+		num := d.Num.Resized(b.ncols())
+		// Greatest common divisor of the denominator and the non-constant
+		// coefficients.
+		g := d.Den
+		for j := 1; j < len(num); j++ {
+			g = ints.GCD(g, num[j])
+		}
+		if g > 1 {
+			for j := 1; j < len(num); j++ {
+				num[j] /= g
+			}
+			num[0] = ints.FloorDiv(num[0], g)
+			d.Num = num
+			d.Den = d.Den / g
+		}
+		if d.Den == 1 {
+			// The div equals its numerator: substitute it away if the
+			// numerator does not reference the div itself or later divs
+			// (always true by construction) and drop the column.
+			col := b.divCol(i)
+			expr := d.Num.Resized(b.ncols()).Clone()
+			if expr[col] == 0 && !referencesLaterDiv(expr, b, i) {
+				b.substituteDivColumn(col, expr)
+				b.dropColumn(col)
+				i--
+			}
+		}
+	}
+}
+
+func referencesLaterDiv(v Vec, b *basic, i int) bool {
+	for j := i; j < len(b.divs); j++ {
+		if v[b.divCol(j)] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// substituteDivColumn replaces every reference to the div column col by the
+// affine expression expr (which must not reference col or any later div).
+func (b *basic) substituteDivColumn(col int, expr Vec) {
+	expr = expr.Resized(b.ncols())
+	apply := func(v Vec) Vec {
+		v = v.Resized(b.ncols())
+		k := v[col]
+		if k == 0 {
+			return v
+		}
+		out := v.Clone()
+		for j := range out {
+			out[j] += k * expr[j]
+		}
+		out[col] = 0
+		return out
+	}
+	for i := range b.cons {
+		b.cons[i].C = apply(b.cons[i].C)
+	}
+	for i := range b.divs {
+		b.divs[i].Num = apply(b.divs[i].Num)
+	}
+}
+
+// simplify performs cheap normalization: constraint normalization, removal
+// of duplicate and trivially satisfied constraints, div normalization, and
+// detection of a trivially false constant constraint. It returns false if
+// the basic set/map is detected to be empty.
+func (b *basic) simplify() bool {
+	b.normalizeDivs()
+	seen := make(map[string]bool)
+	out := b.cons[:0]
+	for _, c := range b.cons {
+		c = normalizeConstraint(c)
+		nonconst := false
+		for _, x := range c.C[1:] {
+			if x != 0 {
+				nonconst = true
+				break
+			}
+		}
+		if !nonconst {
+			// Constant constraint.
+			if c.Eq && c.C[0] != 0 {
+				return false
+			}
+			if !c.Eq && c.C[0] < 0 {
+				return false
+			}
+			continue
+		}
+		key := constraintKey(c)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	b.cons = out
+	return !b.hasConflictingBounds()
+}
+
+// hasConflictingBounds detects single-variable contradictions such as
+// x >= 3 together with x <= 2 (over the same single column), a cheap but
+// effective emptiness filter.
+func (b *basic) hasConflictingBounds() bool {
+	lo := map[int]int64{}
+	hi := map[int]int64{}
+	haveLo := map[int]bool{}
+	haveHi := map[int]bool{}
+	for _, c := range b.cons {
+		col, cnt := -1, 0
+		for j := 1; j < len(c.C); j++ {
+			if c.C[j] != 0 {
+				col = j
+				cnt++
+			}
+		}
+		if cnt != 1 {
+			continue
+		}
+		a := c.C[col]
+		k := c.C[0]
+		if c.Eq {
+			// a*x + k == 0
+			if k%a != 0 {
+				return true
+			}
+			v := -k / a
+			if haveLo[col] && v < lo[col] {
+				return true
+			}
+			if haveHi[col] && v > hi[col] {
+				return true
+			}
+			lo[col], hi[col] = v, v
+			haveLo[col], haveHi[col] = true, true
+			continue
+		}
+		if a > 0 {
+			v := ints.CeilDiv(-k, a)
+			if !haveLo[col] || v > lo[col] {
+				lo[col] = v
+				haveLo[col] = true
+			}
+		} else {
+			v := ints.FloorDiv(k, -a)
+			if !haveHi[col] || v < hi[col] {
+				hi[col] = v
+				haveHi[col] = true
+			}
+		}
+		if haveLo[col] && haveHi[col] && lo[col] > hi[col] {
+			return true
+		}
+	}
+	return false
+}
+
+func constraintKey(c Constraint) string {
+	buf := make([]byte, 0, 8*len(c.C)+1)
+	if c.Eq {
+		buf = append(buf, '=')
+	} else {
+		buf = append(buf, '>')
+	}
+	// Trailing zeros are not significant (vectors may be padded).
+	cc := c.C
+	for len(cc) > 0 && cc[len(cc)-1] == 0 {
+		cc = cc[:len(cc)-1]
+	}
+	for _, x := range cc {
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, x, 10)
+	}
+	return string(buf)
+}
+
+// embed copies the divs and constraints of src into b, mapping src dimension
+// i to b dimension dimMap[i]. Div definitions are deduplicated against
+// existing divs of b. This is the workhorse behind intersection and
+// composition.
+func (b *basic) embed(src *basic, dimMap []int) {
+	if len(dimMap) != src.ndim {
+		panic("presburger: embed dimension map arity mismatch")
+	}
+	// colMap maps src columns to b columns; div columns are filled as divs
+	// are transferred.
+	colMap := make([]int, src.ncols())
+	colMap[0] = 0
+	for i := 0; i < src.ndim; i++ {
+		colMap[src.dimCol(i)] = b.dimCol(dimMap[i])
+	}
+	remap := func(v Vec) Vec {
+		out := NewVec(b.ncols())
+		for j, x := range v {
+			if x == 0 {
+				continue
+			}
+			out[colMap[j]] += x
+		}
+		return out
+	}
+	for i := range src.divs {
+		num := remap(src.divs[i].Num.Resized(src.ncols()))
+		col := b.addDiv(num, src.divs[i].Den)
+		colMap[src.divCol(i)] = col
+	}
+	for _, c := range src.cons {
+		b.addConstraint(Constraint{C: remap(c.C), Eq: c.Eq})
+	}
+}
+
+// substituteColumn replaces every occurrence of column col by the affine
+// expression expr/den (den > 0, exact integer value), i.e. it rewrites the
+// system under the assumption col*den == expr·cols. Constraints are scaled
+// by den (sign-preserving); div numerators that reference col are rewritten
+// to a*expr + den*rest with their denominator scaled by den, which preserves
+// floor semantics. expr must not reference col itself, and col must be a
+// tuple dimension column (not a div column).
+func (b *basic) substituteColumn(col int, expr Vec, den int64) {
+	if den <= 0 {
+		panic("presburger: substituteColumn with non-positive denominator")
+	}
+	expr = expr.Resized(b.ncols())
+	if expr[col] != 0 {
+		panic("presburger: substitution expression references substituted column")
+	}
+	for i := range b.cons {
+		v := b.cons[i].C
+		a := v[col]
+		if a == 0 {
+			continue
+		}
+		out := NewVec(len(v))
+		for j := range v {
+			out[j] = den*v[j] + a*expr[j]
+		}
+		out[col] = 0
+		b.cons[i].C = out
+	}
+	for i := range b.divs {
+		v := b.divs[i].Num.Resized(b.ncols())
+		a := v[col]
+		if a == 0 {
+			b.divs[i].Num = v
+			continue
+		}
+		out := NewVec(len(v))
+		for j := range v {
+			out[j] = den*v[j] + a*expr[j]
+		}
+		out[col] = 0
+		b.divs[i].Num = out
+		b.divs[i].Den = ints.MulChecked(b.divs[i].Den, den)
+	}
+}
+
+// dropColumn removes a column (which must be unused: zero coefficient in all
+// constraints and div numerators) and renumbers the remaining columns.
+// If the column is a div column the div definition is removed as well.
+func (b *basic) dropColumn(col int) {
+	remove := func(v Vec) Vec {
+		out := make(Vec, 0, len(v)-1)
+		out = append(out, v[:col]...)
+		out = append(out, v[col+1:]...)
+		return out
+	}
+	for i := range b.cons {
+		if b.cons[i].C[col] != 0 {
+			panic("presburger: dropColumn of used column")
+		}
+		b.cons[i].C = remove(b.cons[i].C)
+	}
+	for i := range b.divs {
+		if b.divs[i].Num.Resized(b.ncols())[col] != 0 {
+			panic("presburger: dropColumn referenced by div")
+		}
+		b.divs[i].Num = remove(b.divs[i].Num.Resized(b.ncols()))
+	}
+	if col <= b.ndim {
+		b.ndim--
+	} else {
+		di := col - b.ndim - 1
+		b.divs = append(b.divs[:di], b.divs[di+1:]...)
+	}
+}
+
+// usesColumn reports whether any constraint or div numerator has a non-zero
+// coefficient at col.
+func (b *basic) usesColumn(col int) bool {
+	for _, c := range b.cons {
+		if col < len(c.C) && c.C[col] != 0 {
+			return true
+		}
+	}
+	for _, d := range b.divs {
+		n := d.Num.Resized(b.ncols())
+		if n[col] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// divUsesColumn reports whether any div numerator references col.
+func (b *basic) divUsesColumn(col int) bool {
+	for _, d := range b.divs {
+		n := d.Num.Resized(b.ncols())
+		if n[col] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the basic set/map constraints for debugging.
+func (b *basic) render(dimNames []string) string {
+	names := make([]string, b.ncols())
+	names[0] = "1"
+	for i := 0; i < b.ndim; i++ {
+		if i < len(dimNames) {
+			names[1+i] = dimNames[i]
+		} else {
+			names[1+i] = fmt.Sprintf("d%d", i)
+		}
+	}
+	for i := range b.divs {
+		names[b.divCol(i)] = fmt.Sprintf("e%d", i)
+	}
+	var parts []string
+	for i, d := range b.divs {
+		parts = append(parts, fmt.Sprintf("%s = floor((%s)/%d)", names[b.divCol(i)], renderExpr(d.Num, names), d.Den))
+	}
+	for _, c := range b.cons {
+		op := ">="
+		if c.Eq {
+			op = "="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s 0", renderExpr(c.C, names), op))
+	}
+	sort.Strings(parts[len(b.divs):])
+	return strings.Join(parts, " and ")
+}
+
+func renderExpr(v Vec, names []string) string {
+	var terms []string
+	for i, c := range v {
+		if c == 0 {
+			continue
+		}
+		switch {
+		case i == 0:
+			terms = append(terms, fmt.Sprintf("%d", c))
+		case c == 1:
+			terms = append(terms, names[i])
+		case c == -1:
+			terms = append(terms, "-"+names[i])
+		default:
+			terms = append(terms, fmt.Sprintf("%d%s", c, names[i]))
+		}
+	}
+	if len(terms) == 0 {
+		return "0"
+	}
+	return strings.Join(terms, " + ")
+}

@@ -1,0 +1,184 @@
+package presburger
+
+import (
+	"haystack/internal/ints"
+)
+
+// maxFMConstraints bounds the number of constraints kept per elimination
+// step during rational Fourier–Motzkin. Exceeding the bound drops the widest
+// constraints, which weakens the system; both users of the rational
+// projection (feasibility pruning and scan bounds) remain correct under
+// weakening.
+const maxFMConstraints = 512
+
+// materializedConstraints returns a copy of b's constraints together with
+// the defining constraints of every div (den*d <= num <= den*d + den - 1),
+// so that divs can be treated as ordinary rational variables.
+func (b *basic) materializedConstraints() []Constraint {
+	out := make([]Constraint, 0, len(b.cons)+2*len(b.divs))
+	for _, c := range b.cons {
+		out = append(out, Constraint{C: c.C.Resized(b.ncols()), Eq: c.Eq})
+	}
+	for i, d := range b.divs {
+		num := d.Num.Resized(b.ncols())
+		col := b.divCol(i)
+		lower := num.Clone() // num - den*d >= 0
+		lower[col] -= d.Den
+		upper := num.Neg() // den*d + den - 1 - num >= 0
+		upper[col] += d.Den
+		upper[0] += d.Den - 1
+		out = append(out, Constraint{C: lower}, Constraint{C: upper})
+	}
+	return out
+}
+
+// rationalEliminate removes the given column from the constraint system by
+// rational Gaussian/Fourier–Motzkin elimination. The result is implied by
+// the input (it is the rational shadow), so it is sound for pruning and for
+// bound computation but not necessarily exact over the integers.
+func rationalEliminate(cons []Constraint, col int) []Constraint {
+	// Prefer an equality pivot.
+	for i, c := range cons {
+		if c.Eq && c.C[col] != 0 {
+			pivot := c
+			out := make([]Constraint, 0, len(cons)-1)
+			for j, o := range cons {
+				if j == i {
+					continue
+				}
+				a := o.C[col]
+				if a == 0 {
+					out = append(out, o)
+					continue
+				}
+				p := pivot.C[col]
+				// p*o - a*pivot eliminates col; multiply so the inequality
+				// direction is preserved (scale o by |p|).
+				scale := ints.Abs(p)
+				f := -a
+				if p < 0 {
+					f = a
+				}
+				nc := NewVec(len(o.C))
+				for k := range nc {
+					nc[k] = scale*o.C[k] + f*pivot.C[k]
+				}
+				nc[col] = 0
+				out = append(out, normalizeConstraint(Constraint{C: nc, Eq: o.Eq}))
+			}
+			return out
+		}
+	}
+	var lowers, uppers, rest []Constraint
+	for _, c := range cons {
+		a := c.C[col]
+		switch {
+		case a == 0:
+			rest = append(rest, c)
+		case a > 0:
+			lowers = append(lowers, c)
+		default:
+			uppers = append(uppers, c)
+		}
+	}
+	for _, lo := range lowers {
+		for _, up := range uppers {
+			a := lo.C[col]
+			bb := -up.C[col]
+			nc := NewVec(len(lo.C))
+			for k := range nc {
+				nc[k] = a*up.C[k] + bb*lo.C[k]
+			}
+			nc[col] = 0
+			rest = append(rest, normalizeConstraint(Constraint{C: nc}))
+		}
+	}
+	if len(rest) > maxFMConstraints {
+		rest = rest[:maxFMConstraints]
+	}
+	return rest
+}
+
+// rationalFeasible reports whether the basic set/map has a rational
+// solution. A false result guarantees integer emptiness; a true result makes
+// no integer claim.
+func (b *basic) rationalFeasible() bool {
+	cons := b.materializedConstraints()
+	for col := b.ncols() - 1; col >= 1; col-- {
+		cons = rationalEliminate(cons, col)
+	}
+	for _, c := range cons {
+		if c.Eq && c.C[0] != 0 {
+			return false
+		}
+		if !c.Eq && c.C[0] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// isObviouslyEmpty combines the cheap simplification checks with rational
+// feasibility. It may return false for sets that are in fact empty over the
+// integers; callers use it for pruning only.
+func (b *basic) isObviouslyEmpty() bool {
+	cl := b.clone()
+	if !cl.simplify() {
+		return true
+	}
+	return !cl.rationalFeasible()
+}
+
+// dimBounds computes conservative integer bounds for dimension dim given
+// fixed values for dimensions 0..dim-1. Later dimensions and all divs are
+// eliminated rationally first. The second return value reports whether both
+// bounds exist (the dimension is bounded).
+func (b *basic) dimBounds(dim int, prefix []int64) (lo, hi int64, bounded bool) {
+	cons := b.materializedConstraints()
+	// Eliminate div columns and later dimension columns.
+	for col := b.ncols() - 1; col > b.dimCol(dim); col-- {
+		cons = rationalEliminate(cons, col)
+	}
+	col := b.dimCol(dim)
+	haveLo, haveHi := false, false
+	for _, c := range cons {
+		a := c.C[col]
+		if a == 0 {
+			continue
+		}
+		// Evaluate the rest of the constraint on the prefix.
+		rest := c.C[0]
+		for j := 0; j < dim; j++ {
+			rest += c.C[b.dimCol(j)] * prefix[j]
+		}
+		// a*x + rest >= 0 (or == 0).
+		if c.Eq {
+			if rest%a != 0 {
+				return 0, -1, true // no integer solution
+			}
+			v := -rest / a
+			if !haveLo || v > lo {
+				lo = v
+			}
+			if !haveHi || v < hi {
+				hi = v
+			}
+			haveLo, haveHi = true, true
+			continue
+		}
+		if a > 0 {
+			v := ints.CeilDiv(-rest, a)
+			if !haveLo || v > lo {
+				lo = v
+				haveLo = true
+			}
+		} else {
+			v := ints.FloorDiv(rest, -a)
+			if !haveHi || v < hi {
+				hi = v
+				haveHi = true
+			}
+		}
+	}
+	return lo, hi, haveLo && haveHi
+}

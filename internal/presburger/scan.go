@@ -1,0 +1,156 @@
+package presburger
+
+import (
+	"errors"
+	"fmt"
+
+	"haystack/internal/ints"
+)
+
+// ErrUnbounded reports an attempt to enumerate a set with an unbounded
+// dimension.
+var ErrUnbounded = errors.New("presburger: cannot enumerate unbounded set")
+
+// ErrStopScan can be returned by a scan callback to stop enumeration early
+// without reporting an error to the caller of Scan.
+var ErrStopScan = errors.New("presburger: stop scan")
+
+// scanner enumerates the integer points of a basic set/map. Per-dimension
+// bound constraints are precomputed once by rational projection; every
+// candidate leaf point is validated against the exact constraints, so the
+// enumeration is exact whenever every dimension is bounded.
+type scanner struct {
+	b *basic
+	// levels[d] holds the constraints (over columns 0..dimCol(d)) that bound
+	// dimension d once dimensions 0..d-1 are fixed.
+	levels [][]Constraint
+}
+
+func newScanner(b *basic) *scanner {
+	s := &scanner{b: b}
+	cons := b.materializedConstraints()
+	// Eliminate from the innermost column outwards, recording the systems.
+	s.levels = make([][]Constraint, b.ndim)
+	col := b.ncols() - 1
+	for ; col > b.dimCol(b.ndim-1) && b.ndim > 0; col-- {
+		cons = rationalEliminate(cons, col)
+	}
+	for d := b.ndim - 1; d >= 0; d-- {
+		var lvl []Constraint
+		for _, c := range cons {
+			if c.C[b.dimCol(d)] != 0 {
+				lvl = append(lvl, c)
+			}
+		}
+		s.levels[d] = lvl
+		cons = rationalEliminate(cons, b.dimCol(d))
+	}
+	return s
+}
+
+// bounds returns the integer bounds of dimension d given the fixed prefix.
+func (s *scanner) bounds(d int, prefix []int64) (lo, hi int64, bounded bool) {
+	col := s.b.dimCol(d)
+	haveLo, haveHi := false, false
+	for _, c := range s.levels[d] {
+		a := c.C[col]
+		rest := c.C[0]
+		for j := 0; j < d; j++ {
+			rest += c.C[s.b.dimCol(j)] * prefix[j]
+		}
+		if c.Eq {
+			if rest%a != 0 {
+				return 0, -1, true
+			}
+			v := -rest / a
+			if !haveLo || v > lo {
+				lo = v
+			}
+			if !haveHi || v < hi {
+				hi = v
+			}
+			haveLo, haveHi = true, true
+			continue
+		}
+		if a > 0 {
+			v := ints.CeilDiv(-rest, a)
+			if !haveLo || v > lo {
+				lo = v
+				haveLo = true
+			}
+		} else {
+			v := ints.FloorDiv(rest, -a)
+			if !haveHi || v < hi {
+				hi = v
+				haveHi = true
+			}
+		}
+	}
+	return lo, hi, haveLo && haveHi
+}
+
+func (s *scanner) scanLevel(d int, point []int64, fn func(point []int64) error) error {
+	if d == s.b.ndim {
+		if s.b.contains(point) {
+			return fn(point)
+		}
+		return nil
+	}
+	lo, hi, bounded := s.bounds(d, point[:d])
+	if !bounded {
+		return fmt.Errorf("%w: dimension %d", ErrUnbounded, d)
+	}
+	for v := lo; v <= hi; v++ {
+		point[d] = v
+		if err := s.scanLevel(d+1, point, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanPoints enumerates every integer point of the basic set/map in
+// lexicographic order of its dimensions and calls fn with the point (the
+// slice is reused between calls).
+func (b *basic) scanPoints(fn func(point []int64) error) error {
+	if b.ndim == 0 {
+		// All divs depend on constants only, so containment is decidable
+		// by direct evaluation.
+		if b.contains(nil) {
+			return fn(nil)
+		}
+		return nil
+	}
+	s := newScanner(b)
+	point := make([]int64, b.ndim)
+	err := s.scanLevel(0, point, fn)
+	if errors.Is(err, ErrStopScan) {
+		return err
+	}
+	return err
+}
+
+// countPoints counts the integer points of the basic set/map by
+// enumeration.
+func (b *basic) countPoints() (int64, error) {
+	var n int64
+	err := b.scanPoints(func([]int64) error {
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// samplePoint returns one integer point of the basic set/map, or ok=false
+// when the set is empty (or enumeration fails).
+func (b *basic) samplePoint() (point []int64, ok bool) {
+	var found []int64
+	err := b.scanPoints(func(p []int64) error {
+		found = append([]int64(nil), p...)
+		return ErrStopScan
+	})
+	if err != nil && !errors.Is(err, ErrStopScan) {
+		return nil, false
+	}
+	return found, found != nil
+}

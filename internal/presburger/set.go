@@ -1,0 +1,292 @@
+package presburger
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BasicSet is a conjunction of quasi-affine constraints over the dimensions
+// of a named space.
+type BasicSet struct {
+	space Space
+	b     basic
+}
+
+// UniverseBasicSet returns the unconstrained basic set of the space.
+func UniverseBasicSet(sp Space) BasicSet {
+	return BasicSet{space: sp, b: newBasic(sp.Dim())}
+}
+
+// NewBasicSet builds a basic set from explicit divs and constraints. The
+// column layout of the vectors is [const, dims..., divs...].
+func NewBasicSet(sp Space, divs []Div, cons []Constraint) BasicSet {
+	bs := UniverseBasicSet(sp)
+	for _, d := range divs {
+		bs.b.divs = append(bs.b.divs, d.Clone())
+	}
+	bs.b.resize()
+	for _, c := range cons {
+		bs.b.addConstraint(c.Clone())
+	}
+	return bs
+}
+
+// Space returns the space of the basic set.
+func (bs BasicSet) Space() Space { return bs.space }
+
+// NDim returns the number of dimensions.
+func (bs BasicSet) NDim() int { return bs.b.ndim }
+
+// Divs returns a copy of the div definitions.
+func (bs BasicSet) Divs() []Div {
+	out := make([]Div, len(bs.b.divs))
+	for i, d := range bs.b.divs {
+		out[i] = d.Clone()
+	}
+	return out
+}
+
+// Constraints returns a copy of the constraints.
+func (bs BasicSet) Constraints() []Constraint {
+	out := make([]Constraint, len(bs.b.cons))
+	for i, c := range bs.b.cons {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// NCols returns the width of constraint vectors: 1 + NDim + number of divs.
+func (bs BasicSet) NCols() int { return bs.b.ncols() }
+
+func (bs BasicSet) clone() BasicSet {
+	return BasicSet{space: bs.space, b: bs.b.clone()}
+}
+
+// AddConstraint returns the basic set with an additional constraint. The
+// constraint vector may be shorter than NCols; missing columns are zero.
+func (bs BasicSet) AddConstraint(c Constraint) BasicSet {
+	out := bs.clone()
+	out.b.addConstraint(c.Clone())
+	return out
+}
+
+// AddDiv returns the basic set extended with the div floor(num/den) and the
+// column index of the new (or existing identical) div.
+func (bs BasicSet) AddDiv(num Vec, den int64) (BasicSet, int) {
+	out := bs.clone()
+	col := out.b.addDiv(num.Clone(), den)
+	return out, col
+}
+
+// Intersect returns the intersection with another basic set in the same
+// space.
+func (bs BasicSet) Intersect(o BasicSet) BasicSet {
+	if !bs.space.Equal(o.space) {
+		panic(fmt.Sprintf("presburger: intersect of %v and %v", bs.space, o.space))
+	}
+	out := bs.clone()
+	out.b.embed(&o.b, identityDimMap(o.b.ndim))
+	return out
+}
+
+// FixDim returns the basic set with dimension dim fixed to value.
+func (bs BasicSet) FixDim(dim int, value int64) BasicSet {
+	c := Constraint{C: NewVec(bs.b.ncols()), Eq: true}
+	c.C[0] = -value
+	c.C[1+dim] = 1
+	return bs.AddConstraint(c)
+}
+
+// ProjectOut returns the basic set with dimensions [first, first+n)
+// existentially projected out. The space of the result is anonymous with
+// the surviving dimension names.
+func (bs BasicSet) ProjectOut(first, n int) (BasicSet, error) {
+	out := bs.clone()
+	cols := make([]int, n)
+	for i := 0; i < n; i++ {
+		cols[i] = out.b.dimCol(first + i)
+	}
+	if err := out.b.eliminateDimCols(cols); err != nil {
+		return BasicSet{}, err
+	}
+	dims := append(append([]string(nil), bs.space.Dims[:first]...), bs.space.Dims[first+n:]...)
+	out.space = Space{Name: bs.space.Name, Dims: dims}
+	return out, nil
+}
+
+// Simplify normalizes constraints and returns ok=false when the basic set is
+// detected to be empty.
+func (bs BasicSet) Simplify() (BasicSet, bool) {
+	out := bs.clone()
+	ok := out.b.simplify()
+	return out, ok
+}
+
+// DefinitelyEmpty reports whether the basic set can cheaply be shown empty
+// (constant contradiction or rational infeasibility). A false result does
+// not guarantee the set contains an integer point.
+func (bs BasicSet) DefinitelyEmpty() bool { return bs.b.isObviouslyEmpty() }
+
+// Contains reports whether the point lies in the basic set.
+func (bs BasicSet) Contains(point []int64) bool { return bs.b.contains(point) }
+
+// Scan enumerates the integer points of the basic set in lexicographic
+// order; the point slice passed to fn is reused between calls.
+func (bs BasicSet) Scan(fn func(point []int64) error) error { return bs.b.scanPoints(fn) }
+
+// CountByScan counts the integer points by enumeration.
+func (bs BasicSet) CountByScan() (int64, error) { return bs.b.countPoints() }
+
+// Sample returns a point of the basic set, or ok=false when it is empty.
+func (bs BasicSet) Sample() ([]int64, bool) { return bs.b.samplePoint() }
+
+// String renders the basic set.
+func (bs BasicSet) String() string {
+	return fmt.Sprintf("{ %s : %s }", bs.space, bs.b.render(bs.space.Dims))
+}
+
+// Set is a union of basic sets in the same space. The zero value is not
+// valid; use EmptySet or UniverseSet.
+type Set struct {
+	space  Space
+	basics []BasicSet
+}
+
+// EmptySet returns the empty set of the space.
+func EmptySet(sp Space) Set { return Set{space: sp} }
+
+// UniverseSet returns the unconstrained set of the space.
+func UniverseSet(sp Space) Set {
+	return Set{space: sp, basics: []BasicSet{UniverseBasicSet(sp)}}
+}
+
+// SetFromBasic returns the set containing exactly the given basic set.
+func SetFromBasic(bs BasicSet) Set {
+	return Set{space: bs.space, basics: []BasicSet{bs}}
+}
+
+// Space returns the space of the set.
+func (s Set) Space() Space { return s.space }
+
+// Basics returns the basic sets whose union is s.
+func (s Set) Basics() []BasicSet { return append([]BasicSet(nil), s.basics...) }
+
+// Union returns the union with another set in the same space.
+func (s Set) Union(o Set) Set {
+	if !s.space.Equal(o.space) {
+		panic(fmt.Sprintf("presburger: union of %v and %v", s.space, o.space))
+	}
+	return Set{space: s.space, basics: append(append([]BasicSet(nil), s.basics...), o.basics...)}
+}
+
+// Intersect returns the intersection with another set in the same space.
+func (s Set) Intersect(o Set) Set {
+	out := Set{space: s.space}
+	for _, a := range s.basics {
+		for _, b := range o.basics {
+			bs := a.Intersect(b)
+			if !bs.DefinitelyEmpty() {
+				out.basics = append(out.basics, bs)
+			}
+		}
+	}
+	return out
+}
+
+// AddConstraintAll adds a constraint to every basic set of s. The constraint
+// vector is interpreted over [const, dims...]; div columns must not be
+// referenced.
+func (s Set) AddConstraintAll(c Constraint) Set {
+	out := Set{space: s.space}
+	for _, b := range s.basics {
+		nb := b.AddConstraint(c)
+		if !nb.DefinitelyEmpty() {
+			out.basics = append(out.basics, nb)
+		}
+	}
+	return out
+}
+
+// DefinitelyEmpty reports whether every basic set is detectably empty.
+func (s Set) DefinitelyEmpty() bool {
+	for _, b := range s.basics {
+		if !b.DefinitelyEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the point lies in any basic set.
+func (s Set) Contains(point []int64) bool {
+	for _, b := range s.basics {
+		if b.Contains(point) {
+			return true
+		}
+	}
+	return false
+}
+
+// Scan enumerates the distinct integer points of the set (union semantics:
+// points in several basic sets are reported once). Enumeration order is the
+// lexicographic order within each basic set, deduplicated globally.
+func (s Set) Scan(fn func(point []int64) error) error {
+	if len(s.basics) == 1 {
+		return s.basics[0].Scan(fn)
+	}
+	seen := make(map[string]bool)
+	for i, b := range s.basics {
+		i := i
+		err := b.Scan(func(p []int64) error {
+			if i > 0 || len(s.basics) > 1 {
+				key := pointKey(p)
+				if seen[key] {
+					return nil
+				}
+				seen[key] = true
+			}
+			return fn(p)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByScan counts the distinct integer points of the set by enumeration.
+func (s Set) CountByScan() (int64, error) {
+	var n int64
+	err := s.Scan(func([]int64) error { n++; return nil })
+	return n, err
+}
+
+// String renders the set.
+func (s Set) String() string {
+	if len(s.basics) == 0 {
+		return fmt.Sprintf("{ %s : false }", s.space)
+	}
+	parts := make([]string, len(s.basics))
+	for i, b := range s.basics {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, " union ")
+}
+
+func pointKey(p []int64) string {
+	buf := make([]byte, 0, 8*len(p))
+	for _, v := range p {
+		buf = strconv.AppendInt(buf, v, 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+func identityDimMap(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}

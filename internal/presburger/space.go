@@ -1,0 +1,123 @@
+// Package presburger implements the integer set and map machinery the cache
+// model is built on: named affine integer sets and maps ("isl-lite").
+//
+// A basic set is a conjunction of affine equality and inequality constraints
+// over a tuple of integer dimensions plus local "div" variables, each of
+// which is defined as the floor of an affine expression divided by a
+// positive constant. A set is a finite union of basic sets in the same
+// space; union sets and union maps group sets/maps across differently named
+// spaces (statements, arrays, the schedule space).
+//
+// The operations mirror the subset of isl used by the HayStack model:
+// intersection, union, subtraction, composition, inverse, domain/range
+// projection, lexicographic order maps, fixing and projecting dimensions,
+// point scanning, and emptiness checks. Operations are exact on the
+// quasi-affine fragment produced by the model; an operation that would
+// require general integer quantifier elimination returns ErrUnsupported so
+// that callers can fall back to enumeration.
+package presburger
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrUnsupported reports that an operation left the exactly-supported
+// quasi-affine fragment. Callers fall back to enumeration.
+var ErrUnsupported = errors.New("presburger: operation outside supported fragment")
+
+// Space names a tuple of integer dimensions, e.g. the instances of statement
+// "S0" with dimensions i and j, or the elements of array "A".
+type Space struct {
+	Name string
+	Dims []string
+}
+
+// NewSpace returns a space with the given tuple name and dimension names.
+func NewSpace(name string, dims ...string) Space {
+	return Space{Name: name, Dims: append([]string(nil), dims...)}
+}
+
+// Dim returns the number of dimensions of the space.
+func (s Space) Dim() int { return len(s.Dims) }
+
+// Equal reports whether two spaces have the same name and arity.
+// Dimension names are documentation only and do not affect identity.
+func (s Space) Equal(o Space) bool {
+	return s.Name == o.Name && len(s.Dims) == len(o.Dims)
+}
+
+func (s Space) String() string {
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(s.Dims, ","))
+}
+
+// AnonymousSpace returns an unnamed space with n dimensions named d0..dn-1.
+func AnonymousSpace(n int) Space {
+	dims := make([]string, n)
+	for i := range dims {
+		dims[i] = fmt.Sprintf("d%d", i)
+	}
+	return Space{Name: "", Dims: dims}
+}
+
+// Vec is an affine row vector over the column layout of a basic set or map:
+// column 0 is the constant term, columns 1..ndim are the tuple dimensions,
+// and the remaining columns are the local div variables.
+type Vec []int64
+
+// NewVec returns a zero vector with n columns.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec { return append(Vec(nil), v...) }
+
+// Resized returns a copy of v with n columns; new columns are zero.
+func (v Vec) Resized(n int) Vec {
+	w := make(Vec, n)
+	copy(w, v)
+	return w
+}
+
+// IsZero reports whether every entry of v is zero.
+func (v Vec) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Neg returns -v.
+func (v Vec) Neg() Vec {
+	w := v.Clone()
+	for i := range w {
+		w[i] = -w[i]
+	}
+	return w
+}
+
+// AddScaled returns v + f*w. The vectors must have the same length.
+func (v Vec) AddScaled(w Vec, f int64) Vec {
+	if len(v) != len(w) {
+		panic("presburger: vector length mismatch")
+	}
+	r := v.Clone()
+	for i := range r {
+		r[i] += f * w[i]
+	}
+	return r
+}
+
+// Dot evaluates v at the column values in vals (same length).
+func (v Vec) Dot(vals []int64) int64 {
+	if len(v) != len(vals) {
+		panic("presburger: vector length mismatch in Dot")
+	}
+	var s int64
+	for i, c := range v {
+		s += c * vals[i]
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package presburger
+
+// transferDivs copies the div definitions of src into b (mapping src
+// dimension i to b dimension dimMap[i]) and returns the column map from src
+// columns to b columns so the caller can remap constraint vectors itself.
+func (b *basic) transferDivs(src *basic, dimMap []int) []int {
+	colMap := make([]int, src.ncols())
+	colMap[0] = 0
+	for i := 0; i < src.ndim; i++ {
+		colMap[src.dimCol(i)] = b.dimCol(dimMap[i])
+	}
+	for i := range src.divs {
+		num := NewVec(b.ncols())
+		for j, x := range src.divs[i].Num.Resized(src.ncols()) {
+			if x == 0 {
+				continue
+			}
+			num[colMap[j]] += x
+		}
+		col := b.addDiv(num, src.divs[i].Den)
+		colMap[src.divCol(i)] = col
+	}
+	return colMap
+}
+
+// subtractBasic computes a \ o as a union of disjoint basics: the i-th piece
+// keeps o's constraints 0..i-1 and negates constraint i. Negating an
+// equality produces two pieces. The divs of o are well defined functions of
+// the dimensions, so copying their definitions into each piece preserves
+// exactness.
+func subtractBasic(a, o *basic) []basic {
+	simplified := o.clone()
+	if !simplified.simplify() {
+		// o is empty: a \ o == a.
+		return []basic{a.clone()}
+	}
+	var pieces []basic
+	prefix := a.clone()
+	colMap := prefix.transferDivs(&simplified, identityDimMap(simplified.ndim))
+	remap := func(dst *basic, v Vec) Vec {
+		out := NewVec(dst.ncols())
+		for j, x := range v {
+			if x == 0 {
+				continue
+			}
+			out[colMap[j]] += x
+		}
+		return out
+	}
+	for _, c := range simplified.cons {
+		if c.Eq {
+			// piece with e >= 1 and piece with -e >= 1
+			p1 := prefix.clone()
+			cv := remap(&p1, c.C)
+			cv[0]--
+			p1.addConstraint(Constraint{C: cv})
+			pieces = append(pieces, p1)
+
+			p2 := prefix.clone()
+			cv2 := remap(&p2, c.C).Neg()
+			cv2[0]--
+			p2.addConstraint(Constraint{C: cv2})
+			pieces = append(pieces, p2)
+		} else {
+			// piece with -e - 1 >= 0
+			p := prefix.clone()
+			cv := remap(&p, c.C).Neg()
+			cv[0]--
+			p.addConstraint(Constraint{C: cv})
+			pieces = append(pieces, p)
+		}
+		// Keep the (non-negated) constraint for subsequent pieces so the
+		// pieces stay disjoint.
+		prefix.addConstraint(Constraint{C: remap(&prefix, c.C), Eq: c.Eq})
+	}
+	// Filter detectably empty pieces.
+	out := pieces[:0]
+	for _, p := range pieces {
+		cl := p.clone()
+		if !cl.simplify() {
+			continue
+		}
+		if !cl.rationalFeasible() {
+			continue
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// Subtract returns the basic set difference bs \ o as a set.
+func (bs BasicSet) Subtract(o BasicSet) Set {
+	if !bs.space.Equal(o.space) {
+		panic("presburger: subtract space mismatch")
+	}
+	pieces := subtractBasic(&bs.b, &o.b)
+	out := EmptySet(bs.space)
+	for _, p := range pieces {
+		out.basics = append(out.basics, BasicSet{space: bs.space, b: p})
+	}
+	return out
+}
+
+// Subtract returns the set difference s \ o.
+func (s Set) Subtract(o Set) Set {
+	if !s.space.Equal(o.space) {
+		panic("presburger: subtract space mismatch")
+	}
+	cur := s
+	for _, ob := range o.basics {
+		next := EmptySet(s.space)
+		for _, ab := range cur.basics {
+			// Disjoint operands subtract to the minuend unchanged; checking
+			// this first avoids the piece explosion of the general algorithm
+			// in the common case.
+			if ab.Intersect(ob).DefinitelyEmpty() {
+				next.basics = append(next.basics, ab)
+				continue
+			}
+			next = next.Union(ab.Subtract(ob))
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Subtract returns the map difference bm \ o as a map.
+func (bm BasicMap) Subtract(o BasicMap) Map {
+	if !bm.in.Equal(o.in) || !bm.out.Equal(o.out) {
+		panic("presburger: subtract space mismatch")
+	}
+	pieces := subtractBasic(&bm.b, &o.b)
+	out := EmptyMap(bm.in, bm.out)
+	for _, p := range pieces {
+		out.basics = append(out.basics, BasicMap{in: bm.in, out: bm.out, b: p})
+	}
+	return out
+}
+
+// Subtract returns the map difference m \ o.
+func (m Map) Subtract(o Map) Map {
+	if !m.in.Equal(o.in) || !m.out.Equal(o.out) {
+		panic("presburger: subtract space mismatch")
+	}
+	cur := m
+	for _, ob := range o.basics {
+		next := EmptyMap(m.in, m.out)
+		for _, ab := range cur.basics {
+			if ab.Intersect(ob).DefinitelyEmpty() {
+				next.basics = append(next.basics, ab)
+				continue
+			}
+			next = next.Union(ab.Subtract(ob))
+		}
+		cur = next
+	}
+	return cur
+}

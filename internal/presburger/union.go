@@ -1,0 +1,246 @@
+package presburger
+
+import (
+	"sort"
+	"strings"
+)
+
+// UnionSet is a collection of sets living in differently named spaces
+// (e.g. the instances of several statements).
+type UnionSet struct {
+	sets map[string]Set
+}
+
+// NewUnionSet returns an empty union set.
+func NewUnionSet() UnionSet { return UnionSet{sets: map[string]Set{}} }
+
+// Add unions a set into the collection.
+func (u UnionSet) Add(s Set) UnionSet {
+	out := u.cloneShallow()
+	if cur, ok := out.sets[s.space.Name]; ok {
+		out.sets[s.space.Name] = cur.Union(s)
+	} else {
+		out.sets[s.space.Name] = s
+	}
+	return out
+}
+
+// Get returns the set in the named space.
+func (u UnionSet) Get(name string) (Set, bool) {
+	s, ok := u.sets[name]
+	return s, ok
+}
+
+// Sets returns the member sets sorted by space name.
+func (u UnionSet) Sets() []Set {
+	names := make([]string, 0, len(u.sets))
+	for n := range u.sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Set, 0, len(names))
+	for _, n := range names {
+		out = append(out, u.sets[n])
+	}
+	return out
+}
+
+// Union returns the union of two union sets.
+func (u UnionSet) Union(o UnionSet) UnionSet {
+	out := u.cloneShallow()
+	for _, s := range o.Sets() {
+		out = out.Add(s)
+	}
+	return out
+}
+
+func (u UnionSet) cloneShallow() UnionSet {
+	out := NewUnionSet()
+	for k, v := range u.sets {
+		out.sets[k] = v
+	}
+	return out
+}
+
+// String renders the union set.
+func (u UnionSet) String() string {
+	parts := make([]string, 0, len(u.sets))
+	for _, s := range u.Sets() {
+		parts = append(parts, s.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+type spacePair struct{ in, out string }
+
+// UnionMap is a collection of maps between differently named spaces
+// (e.g. a schedule mapping every statement into the schedule space, or an
+// access map from statements to arrays).
+type UnionMap struct {
+	maps map[spacePair]Map
+}
+
+// NewUnionMap returns an empty union map.
+func NewUnionMap() UnionMap { return UnionMap{maps: map[spacePair]Map{}} }
+
+// Add unions a map into the collection.
+func (u UnionMap) Add(m Map) UnionMap {
+	out := u.cloneShallow()
+	key := spacePair{m.in.Name, m.out.Name}
+	if cur, ok := out.maps[key]; ok {
+		out.maps[key] = cur.Union(m)
+	} else {
+		out.maps[key] = m
+	}
+	return out
+}
+
+// Maps returns the member maps in a deterministic order.
+func (u UnionMap) Maps() []Map {
+	keys := make([]spacePair, 0, len(u.maps))
+	for k := range u.maps {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].in != keys[j].in {
+			return keys[i].in < keys[j].in
+		}
+		return keys[i].out < keys[j].out
+	})
+	out := make([]Map, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, u.maps[k])
+	}
+	return out
+}
+
+// Get returns the map between the named spaces.
+func (u UnionMap) Get(in, out string) (Map, bool) {
+	m, ok := u.maps[spacePair{in, out}]
+	return m, ok
+}
+
+// Union returns the union of two union maps.
+func (u UnionMap) Union(o UnionMap) UnionMap {
+	out := u.cloneShallow()
+	for _, m := range o.Maps() {
+		out = out.Add(m)
+	}
+	return out
+}
+
+func (u UnionMap) cloneShallow() UnionMap {
+	out := NewUnionMap()
+	for k, v := range u.maps {
+		out.maps[k] = v
+	}
+	return out
+}
+
+// Reverse swaps inputs and outputs of every member map.
+func (u UnionMap) Reverse() UnionMap {
+	out := NewUnionMap()
+	for _, m := range u.Maps() {
+		out = out.Add(m.Reverse())
+	}
+	return out
+}
+
+// Domain returns the union of the domains of the member maps.
+func (u UnionMap) Domain() (UnionSet, error) {
+	out := NewUnionSet()
+	for _, m := range u.Maps() {
+		d, err := m.Domain()
+		if err != nil {
+			return UnionSet{}, err
+		}
+		out = out.Add(d)
+	}
+	return out, nil
+}
+
+// Range returns the union of the ranges of the member maps.
+func (u UnionMap) Range() (UnionSet, error) {
+	out := NewUnionSet()
+	for _, m := range u.Maps() {
+		r, err := m.Range()
+		if err != nil {
+			return UnionSet{}, err
+		}
+		out = out.Add(r)
+	}
+	return out, nil
+}
+
+// ApplyRange composes u with o (o ∘ u) for every pair of member maps whose
+// intermediate spaces match by name and arity.
+func (u UnionMap) ApplyRange(o UnionMap) (UnionMap, error) {
+	out := NewUnionMap()
+	for _, a := range u.Maps() {
+		for _, b := range o.Maps() {
+			if !a.out.Equal(b.in) {
+				continue
+			}
+			c, err := a.ApplyRange(b)
+			if err != nil {
+				return UnionMap{}, err
+			}
+			if len(c.basics) > 0 {
+				out = out.Add(c)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Intersect intersects two union maps: member maps between the same pair of
+// spaces are intersected, all other members are dropped.
+func (u UnionMap) Intersect(o UnionMap) UnionMap {
+	out := NewUnionMap()
+	for key, m := range u.maps {
+		if om, ok := o.maps[key]; ok {
+			r := m.Intersect(om)
+			if len(r.basics) > 0 {
+				out = out.Add(r)
+			}
+		}
+	}
+	return out
+}
+
+// IntersectDomain restricts every member map to inputs in the union set.
+func (u UnionMap) IntersectDomain(s UnionSet) UnionMap {
+	out := NewUnionMap()
+	for _, m := range u.Maps() {
+		if ds, ok := s.Get(m.in.Name); ok {
+			r := m.IntersectDomain(ds)
+			if len(r.basics) > 0 {
+				out = out.Add(r)
+			}
+		}
+	}
+	return out
+}
+
+// IntersectRange restricts every member map to outputs in the union set.
+func (u UnionMap) IntersectRange(s UnionSet) UnionMap {
+	out := NewUnionMap()
+	for _, m := range u.Maps() {
+		if rs, ok := s.Get(m.out.Name); ok {
+			r := m.IntersectRange(rs)
+			if len(r.basics) > 0 {
+				out = out.Add(r)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the union map.
+func (u UnionMap) String() string {
+	parts := make([]string, 0, len(u.maps))
+	for _, m := range u.Maps() {
+		parts = append(parts, m.String())
+	}
+	return strings.Join(parts, "; ")
+}

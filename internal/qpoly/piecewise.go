@@ -1,0 +1,142 @@
+package qpoly
+
+import (
+	"fmt"
+	"strings"
+
+	"haystack/internal/ints"
+	"haystack/internal/presburger"
+)
+
+// Piece pairs a quasi-polynomial with the sub-domain on which it is valid.
+// The polynomial's variables are the dimensions of the domain's space.
+type Piece struct {
+	Domain presburger.BasicSet
+	Poly   QPoly
+}
+
+// PwQPoly is a piecewise quasi-polynomial: a list of pieces with pairwise
+// disjoint domains. Outside every piece the value is zero.
+type PwQPoly struct {
+	Space  presburger.Space
+	Pieces []Piece
+}
+
+// ZeroPw returns the zero piecewise quasi-polynomial on the space.
+func ZeroPw(sp presburger.Space) PwQPoly { return PwQPoly{Space: sp} }
+
+// SinglePiece returns the piecewise quasi-polynomial with one piece.
+func SinglePiece(domain presburger.BasicSet, p QPoly) PwQPoly {
+	return PwQPoly{Space: domain.Space(), Pieces: []Piece{{Domain: domain, Poly: p}}}
+}
+
+// NumPieces returns the number of pieces.
+func (pw PwQPoly) NumPieces() int { return len(pw.Pieces) }
+
+// Eval evaluates the piecewise quasi-polynomial at a point: the value of the
+// piece containing the point, or zero when no piece contains it.
+func (pw PwQPoly) Eval(point []int64) ints.Rat {
+	for _, p := range pw.Pieces {
+		if p.Domain.Contains(point) {
+			return p.Poly.Eval(point)
+		}
+	}
+	return ints.Rat{}
+}
+
+// EvalInt evaluates the piecewise quasi-polynomial and requires an integer
+// result.
+func (pw PwQPoly) EvalInt(point []int64) int64 { return pw.Eval(point).Int() }
+
+// AddPiece appends a piece (the caller is responsible for disjointness from
+// the existing pieces).
+func (pw PwQPoly) AddPiece(domain presburger.BasicSet, p QPoly) PwQPoly {
+	out := pw
+	out.Pieces = append(append([]Piece(nil), pw.Pieces...), Piece{Domain: domain, Poly: p})
+	return out
+}
+
+// Add returns the pointwise sum of two piecewise quasi-polynomials over the
+// same space. Piece domains are intersected and the non-overlapping parts of
+// either operand are kept as is, so the result remains a disjoint piecewise
+// cover of the union of both domains.
+func (pw PwQPoly) Add(o PwQPoly) PwQPoly {
+	if !pw.Space.Equal(o.Space) {
+		panic(fmt.Sprintf("qpoly: adding piecewise polynomials over %v and %v", pw.Space, o.Space))
+	}
+	if len(pw.Pieces) == 0 {
+		return o
+	}
+	if len(o.Pieces) == 0 {
+		return pw
+	}
+	out := ZeroPw(pw.Space)
+	// Overlaps.
+	for _, a := range pw.Pieces {
+		for _, b := range o.Pieces {
+			dom := a.Domain.Intersect(b.Domain)
+			if dom.DefinitelyEmpty() {
+				continue
+			}
+			out.Pieces = append(out.Pieces, Piece{Domain: dom, Poly: a.Poly.Add(b.Poly)})
+		}
+	}
+	// Parts of a not covered by o, and vice versa.
+	out.Pieces = append(out.Pieces, subtractPieces(pw.Pieces, o.Pieces)...)
+	out.Pieces = append(out.Pieces, subtractPieces(o.Pieces, pw.Pieces)...)
+	return out
+}
+
+// subtractPieces returns pieces covering the parts of the domains of `a`
+// that no domain of `b` covers, keeping the polynomials of `a`.
+func subtractPieces(a, b []Piece) []Piece {
+	var out []Piece
+	for _, pa := range a {
+		rest := presburger.SetFromBasic(pa.Domain)
+		for _, pb := range b {
+			rest = rest.Subtract(presburger.SetFromBasic(pb.Domain))
+			if rest.DefinitelyEmpty() {
+				break
+			}
+		}
+		for _, bs := range rest.Basics() {
+			if bs.DefinitelyEmpty() {
+				continue
+			}
+			out = append(out, Piece{Domain: bs, Poly: pa.Poly})
+		}
+	}
+	return out
+}
+
+// Scale multiplies every piece by a constant.
+func (pw PwQPoly) Scale(c ints.Rat) PwQPoly {
+	out := PwQPoly{Space: pw.Space}
+	for _, p := range pw.Pieces {
+		out.Pieces = append(out.Pieces, Piece{Domain: p.Domain, Poly: p.Poly.Scale(c)})
+	}
+	return out
+}
+
+// MaxDegree returns the maximum degree over all pieces.
+func (pw PwQPoly) MaxDegree() int {
+	deg := 0
+	for _, p := range pw.Pieces {
+		if d := p.Poly.Degree(); d > deg {
+			deg = d
+		}
+	}
+	return deg
+}
+
+// String renders the piecewise quasi-polynomial.
+func (pw PwQPoly) String() string {
+	if len(pw.Pieces) == 0 {
+		return fmt.Sprintf("{ %s -> 0 }", pw.Space)
+	}
+	parts := make([]string, len(pw.Pieces))
+	for i, p := range pw.Pieces {
+		parts[i] = fmt.Sprintf("[%s on %s]", p.Poly.StringWithNames(pw.Space.Dims), p.Domain)
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,315 @@
+package scop
+
+import (
+	"fmt"
+
+	"haystack/internal/presburger"
+)
+
+// ScheduleSpaceName is the name of the common schedule space all statements
+// are mapped into.
+const ScheduleSpaceName = "Sched"
+
+// PolyInfo is the polyhedral description of a program: the iteration domain,
+// the schedule, and the access maps of every statement, in the form consumed
+// by the cache model (section 2.4 of the paper).
+//
+// Statement instance spaces carry the loop variables plus a trailing access
+// dimension "a" that orders the memory accesses within one statement
+// execution, as described in section 3.1 ("multiple memory accesses per
+// statement").
+type PolyInfo struct {
+	Program    *Program
+	Statements []*PolyStatement
+	// ScheduleDim is the dimensionality of the common schedule space:
+	// 2*maxdepth+1 position/loop dimensions plus one access dimension.
+	ScheduleDim int
+}
+
+// PolyStatement is the polyhedral description of one statement.
+type PolyStatement struct {
+	Name     string
+	Instance *StatementInstance
+	Space    presburger.Space // statement instance space: loop vars + "a"
+	Domain   presburger.Set
+	Schedule presburger.Map // instance space -> schedule space
+	// Position is the sibling index path of the statement in the loop tree
+	// (outermost first), defining the interleaving constants of the
+	// schedule.
+	Position []int
+}
+
+// statementsWithPositions walks the program and returns statements together
+// with their position paths.
+func statementsWithPositions(p *Program) []*PolyStatement {
+	var out []*PolyStatement
+	var walk func(nodes []Node, loops []*Loop, path []int)
+	walk = func(nodes []Node, loops []*Loop, path []int) {
+		for i, n := range nodes {
+			childPath := append(append([]int(nil), path...), i)
+			switch n := n.(type) {
+			case *Loop:
+				walk(n.Body, append(append([]*Loop(nil), loops...), n), childPath)
+			case *Statement:
+				out = append(out, &PolyStatement{
+					Name:     n.Name,
+					Instance: &StatementInstance{Statement: n, Loops: append([]*Loop(nil), loops...)},
+					Position: childPath,
+				})
+			}
+		}
+	}
+	walk(p.Root, nil, nil)
+	return out
+}
+
+// BuildPoly derives the polyhedral description of the program.
+func BuildPoly(p *Program) (*PolyInfo, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	stmts := statementsWithPositions(p)
+	maxDepth := 0
+	for _, s := range stmts {
+		if d := s.Instance.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	schedDim := 2*maxDepth + 1 + 1 // interleaving/loop dims + access dim
+	info := &PolyInfo{Program: p, Statements: stmts, ScheduleDim: schedDim}
+	for _, ps := range stmts {
+		if err := buildStatement(ps, schedDim); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+// exprToVec converts an affine expression over the statement's loop
+// variables into a column vector over the statement space columns
+// [const, loopvars..., a] with the given total width.
+func exprToVec(e Expr, loopVars []string, width int) (presburger.Vec, error) {
+	v := presburger.NewVec(width)
+	v[0] = e.Const
+	for name, c := range e.Coeffs {
+		if c == 0 {
+			continue
+		}
+		found := false
+		for i, lv := range loopVars {
+			if lv == name {
+				v[1+i] += c
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("scop: expression references unbound variable %s", name)
+		}
+	}
+	return v, nil
+}
+
+func buildStatement(ps *PolyStatement, schedDim int) error {
+	inst := ps.Instance
+	loopVars := inst.LoopVars()
+	dims := append(append([]string(nil), loopVars...), "a")
+	ps.Space = presburger.NewSpace(ps.Name, dims...)
+
+	// Iteration domain: loop bounds plus the access dimension range.
+	bs := presburger.UniverseBasicSet(ps.Space)
+	width := bs.NCols()
+	for i, loop := range inst.Loops {
+		lowers := append([]Expr{loop.Lower}, loop.ExtraLower...)
+		uppers := append([]Expr{loop.Upper}, loop.ExtraUpper...)
+		for _, le := range lowers {
+			lower, err := exprToVec(le, loopVars, width)
+			if err != nil {
+				return err
+			}
+			// v_i - lower >= 0
+			lo := presburger.NewVec(width)
+			for j := range lo {
+				lo[j] = -lower[j]
+			}
+			lo[1+i]++
+			bs = bs.AddConstraint(presburger.Constraint{C: lo})
+		}
+		for _, ue := range uppers {
+			upper, err := exprToVec(ue, loopVars, width)
+			if err != nil {
+				return err
+			}
+			// upper - 1 - v_i >= 0
+			hi := presburger.NewVec(width)
+			copy(hi, upper)
+			hi[0]--
+			hi[1+i]--
+			bs = bs.AddConstraint(presburger.Constraint{C: hi})
+		}
+	}
+	nAcc := int64(len(inst.Statement.Accesses))
+	aCol := 1 + len(loopVars)
+	loA := presburger.NewVec(width)
+	loA[aCol] = 1
+	bs = bs.AddConstraint(presburger.Constraint{C: loA})
+	hiA := presburger.NewVec(width)
+	hiA[aCol] = -1
+	hiA[0] = nAcc - 1
+	bs = bs.AddConstraint(presburger.Constraint{C: hiA})
+	ps.Domain = presburger.SetFromBasic(bs)
+
+	// Schedule: (pos0, v1, pos1, v2, ..., vd, posd, 0..., a).
+	schedDims := make([]string, schedDim)
+	for i := range schedDims {
+		schedDims[i] = fmt.Sprintf("t%d", i)
+	}
+	schedDims[schedDim-1] = "acc"
+	schedSpace := presburger.NewSpace(ScheduleSpaceName, schedDims...)
+	bm := presburger.UniverseBasicMap(ps.Space, schedSpace)
+	w := bm.NCols()
+	nIn := len(dims)
+	eqConst := func(outDim int, value int64) {
+		c := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
+		c.C[0] = -value
+		c.C[1+nIn+outDim] = 1
+		bm = bm.AddConstraint(c)
+	}
+	eqInDim := func(outDim, inDim int) {
+		c := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
+		c.C[1+nIn+outDim] = 1
+		c.C[1+inDim] = -1
+		bm = bm.AddConstraint(c)
+	}
+	depth := inst.Depth()
+	for k := 0; k <= depth; k++ {
+		eqConst(2*k, int64(ps.Position[k]))
+		if k < depth {
+			eqInDim(2*k+1, k)
+		}
+	}
+	for t := 2*depth + 1; t < schedDim-1; t++ {
+		eqConst(t, 0)
+	}
+	eqInDim(schedDim-1, len(loopVars)) // acc = a
+	ps.Schedule = presburger.MapFromBasic(bm).IntersectDomain(ps.Domain)
+	return nil
+}
+
+// IterationDomain returns the union of the statement iteration domains.
+func (info *PolyInfo) IterationDomain() presburger.UnionSet {
+	u := presburger.NewUnionSet()
+	for _, s := range info.Statements {
+		u = u.Add(s.Domain)
+	}
+	return u
+}
+
+// Schedule returns the union schedule map of the program.
+func (info *PolyInfo) Schedule() presburger.UnionMap {
+	u := presburger.NewUnionMap()
+	for _, s := range info.Statements {
+		u = u.Add(s.Schedule)
+	}
+	return u
+}
+
+// AccessMap returns the union access map at array element granularity:
+// statement instances (with their access dimension) to array elements.
+func (info *PolyInfo) AccessMap() presburger.UnionMap {
+	return info.accessMap(0)
+}
+
+// LineAccessMap returns the union access map at cache line granularity for
+// the given line size in bytes: the innermost array dimension is replaced by
+// the cache line index floor(index*elem/lineSize), assuming every innermost
+// row is cache-line aligned and padded (section 3.1 of the paper).
+func (info *PolyInfo) LineAccessMap(lineSize int64) presburger.UnionMap {
+	return info.accessMap(lineSize)
+}
+
+// accessMap builds the access union map; lineSize == 0 selects element
+// granularity.
+func (info *PolyInfo) accessMap(lineSize int64) presburger.UnionMap {
+	u := presburger.NewUnionMap()
+	for _, ps := range info.Statements {
+		loopVars := ps.Instance.LoopVars()
+		nIn := len(loopVars) + 1
+		aCol := 1 + len(loopVars)
+		for accIdx, acc := range ps.Instance.Statement.Accesses {
+			rank := len(acc.Array.Dims)
+			outDims := make([]string, rank)
+			for i := range outDims {
+				outDims[i] = fmt.Sprintf("d%d", i)
+			}
+			if lineSize > 0 {
+				outDims[rank-1] = "line"
+			}
+			arrSpace := presburger.NewSpace(acc.Array.Name, outDims...)
+			bm := presburger.UniverseBasicMap(ps.Space, arrSpace)
+			w := bm.NCols()
+			// a == accIdx
+			ceq := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
+			ceq.C[aCol] = 1
+			ceq.C[0] = -int64(accIdx)
+			bm = bm.AddConstraint(ceq)
+			for d := 0; d < rank; d++ {
+				idxVec, err := exprToVec(acc.Index[d], loopVars, w)
+				if err != nil {
+					// Validate() has already been run; this cannot happen.
+					panic(err)
+				}
+				outCol := 1 + nIn + d
+				if lineSize == 0 || d < rank-1 {
+					// out_d == subscript_d
+					c := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
+					for j := range idxVec {
+						c.C[j] = idxVec[j]
+					}
+					c.C[outCol] -= 1
+					bm = bm.AddConstraint(c)
+					continue
+				}
+				// Cache line dimension: L*line <= elem*subscript <= L*line + L - 1.
+				lower := presburger.NewVec(w)
+				for j := range idxVec {
+					lower[j] = acc.Array.Elem * idxVec[j]
+				}
+				lower[outCol] -= lineSize
+				bm = bm.AddConstraint(presburger.Constraint{C: lower})
+				upper := presburger.NewVec(w)
+				for j := range idxVec {
+					upper[j] = -acc.Array.Elem * idxVec[j]
+				}
+				upper[outCol] += lineSize
+				upper[0] += lineSize - 1
+				bm = bm.AddConstraint(presburger.Constraint{C: upper})
+			}
+			m := presburger.MapFromBasic(bm).IntersectDomain(ps.Domain)
+			if len(m.Basics()) > 0 {
+				u = u.Add(m)
+			}
+		}
+	}
+	return u
+}
+
+// ScheduleSpace returns the common schedule space of the program.
+func (info *PolyInfo) ScheduleSpace() presburger.Space {
+	dims := make([]string, info.ScheduleDim)
+	for i := range dims {
+		dims[i] = fmt.Sprintf("t%d", i)
+	}
+	dims[info.ScheduleDim-1] = "acc"
+	return presburger.NewSpace(ScheduleSpaceName, dims...)
+}
+
+// StatementByName returns the polyhedral statement with the given name.
+func (info *PolyInfo) StatementByName(name string) (*PolyStatement, bool) {
+	for _, s := range info.Statements {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}

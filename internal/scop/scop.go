@@ -1,0 +1,329 @@
+// Package scop represents static control programs (SCoPs): perfectly or
+// imperfectly nested affine loop nests with array accesses whose subscripts
+// are affine functions of the loop variables. A SCoP is the input of the
+// cache model and of the trace-driven simulator.
+//
+// Programs are written with a small builder DSL:
+//
+//	p := scop.NewProgram("example")
+//	M := p.NewArray("M", scop.ElemFloat64, 4)
+//	i := scop.V("i")
+//	j := scop.V("j")
+//	p.Add(
+//		scop.For(i, scop.C(0), scop.C(4),
+//			scop.Stmt("S0", scop.Write(M, scop.X(i)))),
+//		scop.For(j, scop.C(0), scop.C(4),
+//			scop.Stmt("S1", scop.Read(M, scop.C(3).Minus(scop.X(j))))),
+//	)
+//
+// From the program, the package derives the polyhedral description used by
+// the model (iteration domain, schedule, access maps) and can also replay
+// the exact memory trace for the simulator.
+package scop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Element sizes in bytes for the common PolyBench data types.
+const (
+	ElemFloat32 int64 = 4
+	ElemFloat64 int64 = 8
+	ElemInt32   int64 = 4
+)
+
+// Array describes a (multi-dimensional) array of fixed element size.
+type Array struct {
+	Name string
+	Elem int64   // element size in bytes
+	Dims []int64 // extent of every dimension
+}
+
+// NumElements returns the total number of elements of the array.
+func (a *Array) NumElements() int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// SizeBytes returns the unpadded size of the array in bytes.
+func (a *Array) SizeBytes() int64 { return a.NumElements() * a.Elem }
+
+// Var is a loop variable. Variables are identified by name within a program.
+type Var struct{ Name string }
+
+// V returns a loop variable with the given name.
+func V(name string) Var { return Var{Name: name} }
+
+// Expr is an affine expression over loop variables: Const + sum Coeff[v]*v.
+type Expr struct {
+	Const  int64
+	Coeffs map[string]int64
+}
+
+// C returns the constant expression n.
+func C(n int64) Expr { return Expr{Const: n} }
+
+// X returns the expression consisting of the loop variable v.
+func X(v Var) Expr { return Expr{Coeffs: map[string]int64{v.Name: 1}} }
+
+func (e Expr) clone() Expr {
+	out := Expr{Const: e.Const, Coeffs: map[string]int64{}}
+	for k, v := range e.Coeffs {
+		out.Coeffs[k] = v
+	}
+	return out
+}
+
+// Plus returns e + o.
+func (e Expr) Plus(o Expr) Expr {
+	out := e.clone()
+	out.Const += o.Const
+	for k, v := range o.Coeffs {
+		out.Coeffs[k] += v
+	}
+	return out
+}
+
+// Minus returns e - o.
+func (e Expr) Minus(o Expr) Expr { return e.Plus(o.Scale(-1)) }
+
+// Scale returns f*e.
+func (e Expr) Scale(f int64) Expr {
+	out := e.clone()
+	out.Const *= f
+	for k := range out.Coeffs {
+		out.Coeffs[k] *= f
+	}
+	return out
+}
+
+// Eval evaluates the expression with the given loop variable values.
+func (e Expr) Eval(env map[string]int64) int64 {
+	v := e.Const
+	for k, c := range e.Coeffs {
+		v += c * env[k]
+	}
+	return v
+}
+
+// String renders the expression.
+func (e Expr) String() string {
+	var parts []string
+	names := make([]string, 0, len(e.Coeffs))
+	for k, c := range e.Coeffs {
+		if c != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		c := e.Coeffs[k]
+		switch c {
+		case 1:
+			parts = append(parts, k)
+		case -1:
+			parts = append(parts, "-"+k)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", c, k))
+		}
+	}
+	if e.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", e.Const))
+	}
+	return strings.Join(parts, "+")
+}
+
+// Access is one array reference of a statement.
+type Access struct {
+	Array *Array
+	Index []Expr // one affine subscript per array dimension
+	Write bool
+}
+
+// Read builds a read access.
+func Read(a *Array, index ...Expr) Access { return Access{Array: a, Index: index} }
+
+// Write builds a write access.
+func Write(a *Array, index ...Expr) Access { return Access{Array: a, Index: index, Write: true} }
+
+// Node is a loop or a statement in the program tree.
+type Node interface{ isNode() }
+
+// Loop is a for loop over [Lower, Upper) with unit stride. Additional lower
+// bounds (combined with max) and upper bounds (combined with min) support
+// tiled loop nests, whose point loops are bounded both by the tile and by
+// the original loop extent.
+type Loop struct {
+	Var   Var
+	Lower Expr
+	Upper Expr // exclusive
+	// ExtraLower are additional inclusive lower bounds (the effective lower
+	// bound is the maximum of all lower bounds).
+	ExtraLower []Expr
+	// ExtraUpper are additional exclusive upper bounds (the effective upper
+	// bound is the minimum of all upper bounds).
+	ExtraUpper []Expr
+	Body       []Node
+}
+
+func (*Loop) isNode() {}
+
+// For builds a loop node.
+func For(v Var, lower, upper Expr, body ...Node) *Loop {
+	return &Loop{Var: v, Lower: lower, Upper: upper, Body: body}
+}
+
+// ForBounded builds a loop node with several lower and upper bounds: the
+// loop iterates over [max(lowers), min(uppers)).
+func ForBounded(v Var, lowers, uppers []Expr, body ...Node) *Loop {
+	if len(lowers) == 0 || len(uppers) == 0 {
+		panic("scop: ForBounded requires at least one lower and one upper bound")
+	}
+	return &Loop{Var: v, Lower: lowers[0], Upper: uppers[0],
+		ExtraLower: append([]Expr(nil), lowers[1:]...),
+		ExtraUpper: append([]Expr(nil), uppers[1:]...),
+		Body:       body}
+}
+
+// Statement is a straight-line statement performing a list of array
+// accesses in order (reads of the right-hand side followed by the write, in
+// the order provided by the kernel author, mirroring the order a compiler
+// front end would emit).
+type Statement struct {
+	Name     string
+	Accesses []Access
+}
+
+func (*Statement) isNode() {}
+
+// Stmt builds a statement node.
+func Stmt(name string, accesses ...Access) *Statement {
+	return &Statement{Name: name, Accesses: accesses}
+}
+
+// Program is a full static control program.
+type Program struct {
+	Name   string
+	Arrays []*Array
+	Root   []Node
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program { return &Program{Name: name} }
+
+// NewArray declares an array in the program.
+func (p *Program) NewArray(name string, elem int64, dims ...int64) *Array {
+	a := &Array{Name: name, Elem: elem, Dims: append([]int64(nil), dims...)}
+	p.Arrays = append(p.Arrays, a)
+	return a
+}
+
+// Add appends top-level nodes to the program.
+func (p *Program) Add(nodes ...Node) *Program {
+	p.Root = append(p.Root, nodes...)
+	return p
+}
+
+// Statements returns the statements of the program in textual order,
+// together with their enclosing loops (outermost first).
+func (p *Program) Statements() []*StatementInstance {
+	var out []*StatementInstance
+	var walk func(nodes []Node, loops []*Loop)
+	walk = func(nodes []Node, loops []*Loop) {
+		for _, n := range nodes {
+			switch n := n.(type) {
+			case *Loop:
+				walk(n.Body, append(append([]*Loop(nil), loops...), n))
+			case *Statement:
+				out = append(out, &StatementInstance{Statement: n, Loops: append([]*Loop(nil), loops...)})
+			default:
+				panic(fmt.Sprintf("scop: unknown node type %T", n))
+			}
+		}
+	}
+	walk(p.Root, nil)
+	return out
+}
+
+// StatementInstance pairs a statement with its enclosing loops.
+type StatementInstance struct {
+	Statement *Statement
+	Loops     []*Loop
+}
+
+// Depth returns the nesting depth of the statement.
+func (s *StatementInstance) Depth() int { return len(s.Loops) }
+
+// LoopVars returns the names of the enclosing loop variables, outermost
+// first.
+func (s *StatementInstance) LoopVars() []string {
+	out := make([]string, len(s.Loops))
+	for i, l := range s.Loops {
+		out[i] = l.Var.Name
+	}
+	return out
+}
+
+// MaxDepth returns the maximum statement nesting depth of the program.
+func (p *Program) MaxDepth() int {
+	d := 0
+	for _, s := range p.Statements() {
+		if s.Depth() > d {
+			d = s.Depth()
+		}
+	}
+	return d
+}
+
+// Validate checks structural invariants of the program: unique statement
+// names, subscript arities matching array ranks, and accesses referencing
+// declared arrays.
+func (p *Program) Validate() error {
+	declared := map[*Array]bool{}
+	names := map[string]bool{}
+	for _, a := range p.Arrays {
+		declared[a] = true
+		if len(a.Dims) == 0 {
+			return fmt.Errorf("scop: array %s has no dimensions", a.Name)
+		}
+		if a.Elem <= 0 {
+			return fmt.Errorf("scop: array %s has non-positive element size", a.Name)
+		}
+	}
+	for _, si := range p.Statements() {
+		if names[si.Statement.Name] {
+			return fmt.Errorf("scop: duplicate statement name %s", si.Statement.Name)
+		}
+		names[si.Statement.Name] = true
+		if len(si.Statement.Accesses) == 0 {
+			return fmt.Errorf("scop: statement %s has no accesses", si.Statement.Name)
+		}
+		vars := map[string]bool{}
+		for _, v := range si.LoopVars() {
+			vars[v] = true
+		}
+		for _, acc := range si.Statement.Accesses {
+			if !declared[acc.Array] {
+				return fmt.Errorf("scop: statement %s accesses undeclared array %s", si.Statement.Name, acc.Array.Name)
+			}
+			if len(acc.Index) != len(acc.Array.Dims) {
+				return fmt.Errorf("scop: statement %s access to %s has %d subscripts, array has %d dimensions",
+					si.Statement.Name, acc.Array.Name, len(acc.Index), len(acc.Array.Dims))
+			}
+			for _, idx := range acc.Index {
+				for v := range idx.Coeffs {
+					if idx.Coeffs[v] != 0 && !vars[v] {
+						return fmt.Errorf("scop: statement %s subscript uses variable %s not bound by an enclosing loop",
+							si.Statement.Name, v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

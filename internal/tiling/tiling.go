@@ -1,0 +1,191 @@
+// Package tiling implements rectangular loop tiling of static control
+// programs, the transformation the paper applies with PPCG (tile size 16, no
+// skewing, no fusion) to evaluate the cache model on more deeply nested
+// codes (section 4.5).
+//
+// The transformation strip-mines every perfectly nested band of loops and
+// hoists the tile loops of the band above the point loops:
+//
+//	for i in [0,N): for j in [0,M): S(i,j)
+//
+// becomes
+//
+//	for it in [0, ceil(N/T)): for jt in [0, ceil(M/T)):
+//	  for i in [max(0, it*T), min(N, (it+1)*T)):
+//	    for j in [max(0, jt*T), min(M, (jt+1)*T)): S(i,j)
+//
+// Only bands whose loop bounds do not depend on the band's own loop
+// variables are tiled (a rectangular tiling in the sense of the paper);
+// loops of triangular bands and imperfect nest parts are kept as they are.
+// The transformation is purely syntactic: it preserves the execution order
+// of rectangular bands up to the tile-by-tile reordering the paper studies.
+package tiling
+
+import (
+	"haystack/internal/scop"
+)
+
+// Tile returns a tiled copy of the program using the given tile size for
+// every tiled dimension. The original program is not modified. The second
+// return value reports whether at least one band was tiled; the paper
+// excludes kernels without a rectangular tiling from the tiled-code
+// experiment.
+func Tile(p *scop.Program, tileSize int64) (*scop.Program, bool) {
+	if tileSize <= 1 {
+		return p, false
+	}
+	out := scop.NewProgram(p.Name + "-tiled")
+	out.Arrays = p.Arrays
+	tiled := false
+	for _, n := range p.Root {
+		nn, t := tileNode(n, tileSize)
+		tiled = tiled || t
+		out.Add(nn)
+	}
+	return out, tiled
+}
+
+// tileNode recursively tiles maximal perfect rectangular bands.
+func tileNode(n scop.Node, tileSize int64) (scop.Node, bool) {
+	loop, ok := n.(*scop.Loop)
+	if !ok {
+		return n, false
+	}
+	band := collectBand(loop)
+	if len(band) >= 1 && bandIsRectangular(band) {
+		// Recurse into the body below the band first.
+		inner := band[len(band)-1].Body
+		var newInner []scop.Node
+		innerTiled := false
+		for _, child := range inner {
+			c, t := tileNode(child, tileSize)
+			innerTiled = innerTiled || t
+			newInner = append(newInner, c)
+		}
+		if len(band) >= 2 {
+			return buildTiledBand(band, newInner, tileSize), true
+		}
+		// A single rectangular loop is not worth tiling on its own; keep it
+		// but use the possibly tiled body.
+		cp := *band[0]
+		cp.Body = newInner
+		return &cp, innerTiled
+	}
+	// Not a rectangular band: keep the loop, recurse into its body.
+	cp := *loop
+	cp.Body = nil
+	tiled := false
+	for _, child := range loop.Body {
+		c, t := tileNode(child, tileSize)
+		tiled = tiled || t
+		cp.Body = append(cp.Body, c)
+	}
+	return &cp, tiled
+}
+
+// collectBand returns the maximal chain of perfectly nested loops starting
+// at l (each loop's body consists of exactly one loop).
+func collectBand(l *scop.Loop) []*scop.Loop {
+	band := []*scop.Loop{l}
+	cur := l
+	for len(cur.Body) == 1 {
+		next, ok := cur.Body[0].(*scop.Loop)
+		if !ok {
+			break
+		}
+		band = append(band, next)
+		cur = next
+	}
+	return band
+}
+
+// bandIsRectangular reports whether no loop bound of the band references a
+// loop variable of the band itself (bounds may reference loop variables of
+// enclosing loops outside the band).
+func bandIsRectangular(band []*scop.Loop) bool {
+	vars := map[string]bool{}
+	for _, l := range band {
+		vars[l.Var.Name] = true
+	}
+	usesBandVar := func(e scop.Expr) bool {
+		for name, c := range e.Coeffs {
+			if c != 0 && vars[name] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range band {
+		for _, e := range append([]scop.Expr{l.Lower, l.Upper}, append(l.ExtraLower, l.ExtraUpper...)...) {
+			if usesBandVar(e) {
+				return false
+			}
+		}
+		if len(l.ExtraLower) > 0 || len(l.ExtraUpper) > 0 {
+			// Already tiled (or otherwise multi-bounded): leave untouched.
+			return false
+		}
+	}
+	return true
+}
+
+// buildTiledBand emits the tile loops followed by the point loops of the
+// band, with the given body below the band.
+func buildTiledBand(band []*scop.Loop, body []scop.Node, tileSize int64) scop.Node {
+	// Point loops, innermost first.
+	inner := body
+	for i := len(band) - 1; i >= 0; i-- {
+		l := band[i]
+		tv := scop.V(l.Var.Name + "t")
+		pointLower := []scop.Expr{l.Lower, scop.X(tv).Scale(tileSize)}
+		pointUpper := []scop.Expr{l.Upper, scop.X(tv).Scale(tileSize).Plus(scop.C(tileSize))}
+		point := scop.ForBounded(l.Var, pointLower, pointUpper, inner...)
+		inner = []scop.Node{point}
+	}
+	// Tile loops, innermost first. The tile loop of dimension i ranges over
+	// [floor(lower/T), ceil(upper/T)): a slight over-approximation of the
+	// tile index range is harmless because the point loop bounds clamp the
+	// iterations to the original domain; to keep the domain exact we bound
+	// the tile index by the original bounds divided by the tile size, which
+	// is exact for the constant bounds of rectangular bands.
+	for i := len(band) - 1; i >= 0; i-- {
+		l := band[i]
+		tv := scop.V(l.Var.Name + "t")
+		lower, upper := constDiv(l.Lower, tileSize, false), constDiv(l.Upper, tileSize, true)
+		tile := scop.For(tv, lower, upper, inner...)
+		inner = []scop.Node{tile}
+	}
+	return inner[0]
+}
+
+// constDiv divides a constant expression by the tile size (floor or ceil).
+// Rectangular bands have constant bounds, so the expression has no variable
+// terms; if it does, the bound is kept conservatively by not dividing the
+// variable coefficients (this situation cannot arise for bands accepted by
+// bandIsRectangular with constant bounds, but outer-variable bounds are kept
+// correct by falling back to an over-approximation plus point-loop clamping).
+func constDiv(e scop.Expr, t int64, ceil bool) scop.Expr {
+	if len(e.Coeffs) == 0 || allZeroCoeffs(e) {
+		v := e.Const / t
+		if ceil && e.Const%t != 0 {
+			v++
+		}
+		if !ceil && e.Const < 0 && e.Const%t != 0 {
+			v--
+		}
+		return scop.C(v)
+	}
+	// Over-approximate: keep the expression as is (tile indices then range
+	// further than necessary; the point loops clamp the excess iterations,
+	// and empty tiles contribute no statement instances).
+	return e
+}
+
+func allZeroCoeffs(e scop.Expr) bool {
+	for _, c := range e.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
