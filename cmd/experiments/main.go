@@ -46,6 +46,7 @@ type options struct {
 	l1, l2  int64
 	l3      int64
 	sets    int64
+	par     int
 }
 
 func main() {
@@ -63,10 +64,11 @@ func main() {
 	l2 := fs.Int64("l2", 1024*1024, "L2 capacity in bytes")
 	l3 := fs.Int64("l3", 25344*1024, "L3 capacity in bytes (fig13)")
 	sets := fs.Int64("sets", 64, "number of cache sets assumed for the per-set model estimate (fig15a)")
+	parallelism := fs.Int("parallelism", 0, "worker goroutines for the analysis (stack distances and capacity miss counting; 0 = all cores)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		log.Fatal(err)
 	}
-	opt := options{csv: *csv, line: *line, l1: *l1, l2: *l2, l3: *l3, sets: *sets}
+	opt := options{csv: *csv, line: *line, l1: *l1, l2: *l2, l3: *l3, sets: *sets, par: *parallelism}
 	var err error
 	opt.size, err = parseSize(*size)
 	if err != nil {
@@ -157,9 +159,10 @@ func measuredConfig(opt options) cachesim.Config {
 	}}
 }
 
-func analyze(prog *scop.Program, cfg core.Config) (*core.Result, error) {
+func analyze(prog *scop.Program, cfg core.Config, parallelism int) (*core.Result, error) {
 	opts := core.DefaultOptions()
 	opts.TraceFallback = false
+	opts.Parallelism = parallelism
 	return core.Analyze(prog, cfg, opts)
 }
 
@@ -173,7 +176,7 @@ func fig1(opt options) {
 		for _, sz := range []polybench.Size{polybench.Mini, polybench.Small, polybench.Medium, opt.size} {
 			prog := k.Build(sz)
 			start := time.Now()
-			res, err := analyze(prog, modelConfig(opt))
+			res, err := analyze(prog, modelConfig(opt), opt.par)
 			if err != nil {
 				log.Printf("%s/%s: model failed: %v", name, sz, err)
 				continue
@@ -202,7 +205,7 @@ func fig9(opt options) {
 	var errsL1, errsL2 []float64
 	for _, k := range opt.kernels {
 		prog := k.Build(opt.size)
-		res, err := analyze(prog, modelConfig(opt))
+		res, err := analyze(prog, modelConfig(opt), opt.par)
 		if err != nil {
 			log.Printf("%s: model failed: %v", k.Name, err)
 			continue
@@ -266,7 +269,7 @@ func fig11(opt options) {
 		"kernel", "stack distances [s]", "capacity misses [s]", "total [s]", "#pieces", "affine", "non-affine")
 	for _, k := range opt.kernels {
 		prog := k.Build(opt.size)
-		res, err := analyze(prog, modelConfig(opt))
+		res, err := analyze(prog, modelConfig(opt), opt.par)
 		if err != nil {
 			log.Printf("%s: model failed: %v", k.Name, err)
 			continue
@@ -289,7 +292,7 @@ func fig12(opt options) {
 				continue
 			}
 			prog := k.Build(sz)
-			res, err := analyze(prog, modelConfig(opt))
+			res, err := analyze(prog, modelConfig(opt), opt.par)
 			if err != nil {
 				log.Printf("%s/%s: model failed: %v", k.Name, sz, err)
 				continue
@@ -309,7 +312,7 @@ func fig13(opt options) {
 		times := make([]float64, 3)
 		failed := false
 		for i, sizes := range [][]int64{{opt.l1}, {opt.l1, opt.l2}, {opt.l1, opt.l2, opt.l3}} {
-			res, err := analyze(prog, core.Config{LineSize: opt.line, CacheSizes: sizes})
+			res, err := analyze(prog, core.Config{LineSize: opt.line, CacheSizes: sizes}, opt.par)
 			if err != nil {
 				log.Printf("%s: model failed: %v", k.Name, err)
 				failed = true
@@ -377,7 +380,7 @@ func fig15a(opt options) {
 	var speedups []float64
 	for _, k := range opt.kernels {
 		prog := k.Build(opt.size)
-		res, err := analyze(prog, modelConfig(opt))
+		res, err := analyze(prog, modelConfig(opt), opt.par)
 		if err != nil {
 			log.Printf("%s: model failed: %v", k.Name, err)
 			continue
@@ -398,7 +401,7 @@ func fig15b(opt options) {
 	var speedups []float64
 	for _, k := range opt.kernels {
 		prog := k.Build(opt.size)
-		res, err := analyze(prog, modelConfig(opt))
+		res, err := analyze(prog, modelConfig(opt), opt.par)
 		if err != nil {
 			log.Printf("%s: model failed: %v", k.Name, err)
 			continue
@@ -432,7 +435,7 @@ func fig16(opt options) {
 			t.AddRow(k.Name, "no rectangular tiling", "", "", "")
 			continue
 		}
-		res, err := analyze(tiled, modelConfig(opt))
+		res, err := analyze(tiled, modelConfig(opt), opt.par)
 		if err != nil {
 			log.Printf("%s (tiled): model failed: %v", k.Name, err)
 			t.AddRow(k.Name, "failed", "", "", "")
@@ -450,7 +453,7 @@ func table1(opt options) {
 		"kernel", "0d-affine", "1d-affine", "2d-affine", ">=3d-affine")
 	for _, k := range opt.kernels {
 		prog := k.Build(opt.size)
-		res, err := analyze(prog, modelConfig(opt))
+		res, err := analyze(prog, modelConfig(opt), opt.par)
 		if err != nil {
 			log.Printf("%s: model failed: %v", k.Name, err)
 			continue

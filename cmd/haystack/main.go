@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"haystack/internal/core"
 	"haystack/internal/polybench"
@@ -30,6 +31,7 @@ func main() {
 	noEqualization := flag.Bool("no-equalization", false, "disable the equalization floor elimination")
 	noRasterization := flag.Bool("no-rasterization", false, "disable the rasterization floor elimination")
 	noPartial := flag.Bool("no-partial-enumeration", false, "disable partial enumeration of non-affine pieces")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for the analysis (stack distances and capacity miss counting; 0 = all cores)")
 	flag.Parse()
 
 	if *list {
@@ -58,6 +60,7 @@ func main() {
 	opts.Equalization = !*noEqualization
 	opts.Rasterization = !*noRasterization
 	opts.PartialEnumeration = !*noPartial
+	opts.Parallelism = *parallelism
 
 	prog := k.Build(sz)
 	res, err := core.Analyze(prog, cfg, opts)
@@ -80,6 +83,14 @@ func main() {
 		res.Stats.StackDistanceTime.Round(1e6), res.Stats.CapacityTime.Round(1e6), res.Stats.TotalTime.Round(1e6))
 	fmt.Printf("pieces: %d distance, %d counted (%d affine, %d non-affine)\n",
 		res.Stats.DistancePieces, res.Stats.CountedPieces, res.Stats.AffinePieces, res.Stats.NonAffinePieces)
+	if res.Stats.CapacityWorkers > 0 {
+		var busy time.Duration
+		for _, t := range res.Stats.CapacityWorkerTime {
+			busy += t
+		}
+		fmt.Printf("capacity counting workers: %d, total busy time %v\n",
+			res.Stats.CapacityWorkers, busy.Round(1e6))
+	}
 }
 
 func parseSize(s string) (polybench.Size, error) {

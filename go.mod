@@ -1,0 +1,3 @@
+module haystack
+
+go 1.24

@@ -12,7 +12,7 @@ func fullyAssoc(name string, size int64) LevelConfig {
 }
 
 func TestFullyAssociativeLRUBasics(t *testing.T) {
-	h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 2 * 64)}})
+	h, err := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 2*64)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,8 +41,8 @@ func TestSetAssociativeConflictMisses(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		h.Access(0, false)     // line 0 -> set 0
-		h.Access(2*64, false)  // line 2 -> set 0 (conflict)
+		h.Access(0, false)    // line 0 -> set 0
+		h.Access(2*64, false) // line 2 -> set 0 (conflict)
 	}
 	res := h.Results().Levels[0]
 	if res.Hits != 0 || res.Misses != 8 {
@@ -50,7 +50,7 @@ func TestSetAssociativeConflictMisses(t *testing.T) {
 	}
 	// The same trace in a fully associative cache of the same size has no
 	// conflicts.
-	h2, _ := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 2 * 64)}})
+	h2, _ := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 2*64)}})
 	for i := 0; i < 4; i++ {
 		h2.Access(0, false)
 		h2.Access(2*64, false)
@@ -171,7 +171,7 @@ func TestPrefetcherReducesSequentialMisses(t *testing.T) {
 }
 
 func TestWriteAllocate(t *testing.T) {
-	h, _ := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 4 * 64)}})
+	h, _ := NewHierarchy(Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 4*64)}})
 	h.Access(0, true)  // write miss allocates
 	h.Access(0, false) // read hits
 	res := h.Results().Levels[0]
@@ -190,7 +190,7 @@ func TestSimulateProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Simulate(cp, Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 32 * 1024)}})
+	res, err := Simulate(cp, Config{LineSize: 64, Levels: []LevelConfig{fullyAssoc("L1", 32*1024)}})
 	if err != nil {
 		t.Fatal(err)
 	}

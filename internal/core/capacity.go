@@ -5,6 +5,7 @@ import (
 
 	"haystack/internal/counting"
 	"haystack/internal/ints"
+	"haystack/internal/parwork"
 	"haystack/internal/presburger"
 	"haystack/internal/qpoly"
 )
@@ -15,6 +16,16 @@ import (
 // symbolically; non-affine pieces are first simplified by equalization and
 // rasterization and finally handled by partial enumeration of their
 // non-affine dimensions.
+//
+// The engine exploits two independent sources of structure. Pieces are
+// mutually independent, so they are fanned out over a pool of worker
+// goroutines (Options.Parallelism); every worker accumulates into its own
+// Stats, merged deterministically after the pool drains. And the stack
+// distance polynomial is cache-level independent, so every piece is split,
+// equalized, rasterized, and enumerated exactly once and the resulting
+// sub-pieces are classified against all cache capacities in a single pass
+// (the paper evaluates one distance polynomial against multiple thresholds
+// the same way, Figure 13).
 type capacityCounter struct {
 	opts  Options
 	stats *Stats
@@ -24,31 +35,87 @@ func newCapacityCounter(opts Options, stats *Stats) *capacityCounter {
 	return &capacityCounter{opts: opts, stats: stats}
 }
 
-// Count returns the total number of capacity misses for a cache of the given
-// capacity (in lines) together with the per-statement breakdown.
-func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines int64) (int64, map[string]int64, error) {
-	var total int64
-	perStmt := map[string]int64{}
-	for _, sd := range distances {
-		var stmtTotal int64
-		for _, piece := range sd.Distance.Pieces {
-			n, err := cc.countPiece(piece.Domain, piece.Poly, cacheLines, true)
-			if err != nil {
-				return 0, nil, fmt.Errorf("core: counting capacity misses of %s: %w", sd.Statement, err)
-			}
-			stmtTotal += n
-		}
-		perStmt[sd.Statement] = stmtTotal
-		total += stmtTotal
-	}
-	return total, perStmt, nil
+// capacityWorkItem is one unit of parallel work: a single piece of one
+// statement's distance polynomial, counted against every cache capacity.
+type capacityWorkItem struct {
+	stmt  int
+	piece qpoly.Piece
 }
 
-// countPiece counts the points of the piece whose stack distance polynomial
-// exceeds the capacity. topLevel marks the pieces of the original distance
+// Count returns, for every capacity in cacheLines (in lines), the total
+// number of capacity misses together with the per-statement breakdown.
+func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int64) ([]int64, []map[string]int64, error) {
+	totals := make([]int64, len(cacheLines))
+	perStmt := make([]map[string]int64, len(cacheLines))
+	for l := range perStmt {
+		perStmt[l] = map[string]int64{}
+		for _, sd := range distances {
+			perStmt[l][sd.Statement] = 0
+		}
+	}
+	var items []capacityWorkItem
+	for si, sd := range distances {
+		for _, piece := range sd.Distance.Pieces {
+			items = append(items, capacityWorkItem{stmt: si, piece: piece})
+		}
+	}
+	if len(items) == 0 || len(cacheLines) == 0 {
+		// Nothing to count (or no capacities to classify against): skip the
+		// pool entirely and report zero workers.
+		return totals, perStmt, nil
+	}
+	workers := effectiveParallelism(cc.opts.Parallelism)
+	results := make([][]int64, len(items))
+	// Every worker counts through its own capacityCounter so the pool never
+	// contends on statistics; the per-worker Stats are merged below.
+	workerStats := make([]Stats, workers)
+	counters := make([]*capacityCounter, workers)
+	for w := range counters {
+		workerStats[w].NonAffineByAffineDims = map[int]int{}
+		counters[w] = &capacityCounter{opts: cc.opts, stats: &workerStats[w]}
+	}
+	workerTimes, err := parwork.RunTimed(len(items), workers, func(worker, idx int) error {
+		counts, err := counters[worker].countPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines, true)
+		if err != nil {
+			return fmt.Errorf("core: counting capacity misses of %s: %w", distances[items[idx].stmt].Statement, err)
+		}
+		results[idx] = counts
+		return nil
+	})
+
+	if err != nil {
+		// On failure the set of completed pieces depends on scheduling, so
+		// the partial per-worker statistics are discarded: callers that fall
+		// back to trace profiling keep deterministic stats.
+		return nil, nil, err
+	}
+
+	// Merge the per-worker statistics in worker order; every counter is
+	// additive, so the merged values do not depend on how the scheduler
+	// distributed the pieces.
+	for w := range workerStats {
+		cc.stats.merge(&workerStats[w])
+	}
+	cc.stats.CapacityWorkers = len(workerTimes)
+	cc.stats.CapacityWorkerTime = workerTimes
+
+	for idx, counts := range results {
+		stmt := distances[items[idx].stmt].Statement
+		for l, n := range counts {
+			perStmt[l][stmt] += n
+			totals[l] += n
+		}
+	}
+	return totals, perStmt, nil
+}
+
+// countPiece counts, per capacity, the points of the piece whose stack
+// distance polynomial exceeds that capacity. The piece is split and
+// enumerated once; only the final classification compares against the
+// individual capacities. topLevel marks the pieces of the original distance
 // set for the statistics (pieces created by the splitting strategies are not
 // classified again).
-func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64, topLevel bool) (int64, error) {
+func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64, topLevel bool) ([]int64, error) {
 	if topLevel {
 		if poly.Degree() <= 1 {
 			cc.stats.AffinePieces++
@@ -58,41 +125,47 @@ func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPo
 		}
 	}
 	if poly.Degree() <= 1 {
-		return cc.countAffinePiece(domain, poly, capacity)
+		return cc.countAffinePiece(domain, poly, capacities)
 	}
 	// Floor elimination (section 3.3).
 	if cc.opts.Equalization {
 		if pieces, ok := equalize(domain, poly); ok {
 			cc.stats.EqualizationSplits++
-			return cc.countSubPieces(pieces, capacity)
+			return cc.countSubPieces(pieces, capacities)
 		}
 	}
 	if cc.opts.Rasterization {
 		if pieces, ok := rasterize(domain, poly); ok {
 			cc.stats.RasterizationSplits++
-			return cc.countSubPieces(pieces, capacity)
+			return cc.countSubPieces(pieces, capacities)
 		}
 	}
 	// Partial enumeration (section 3.2).
 	if cc.opts.PartialEnumeration {
-		n, err := cc.partialEnumeration(domain, poly, capacity)
+		n, err := cc.partialEnumeration(domain, poly, capacities)
 		if err == nil {
 			return n, nil
 		}
 	}
-	return cc.fullEnumeration(domain, poly, capacity)
+	return cc.fullEnumeration(domain, poly, capacities)
 }
 
-func (cc *capacityCounter) countSubPieces(pieces []splitPiece, capacity int64) (int64, error) {
-	var total int64
+func (cc *capacityCounter) countSubPieces(pieces []splitPiece, capacities []int64) ([]int64, error) {
+	total := make([]int64, len(capacities))
 	for _, p := range pieces {
-		n, err := cc.countPiece(p.domain, p.poly, capacity, false)
+		n, err := cc.countPiece(p.domain, p.poly, capacities, false)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		total += n
+		addCounts(total, n)
 	}
 	return total, nil
+}
+
+func addCounts(dst, src []int64) {
+	for i, n := range src {
+		dst[i] += n
+	}
 }
 
 // affineDims counts the dimensions of the piece that the polynomial depends
@@ -108,31 +181,52 @@ func (cc *capacityCounter) affineDims(domain presburger.BasicSet, poly qpoly.QPo
 }
 
 // countAffinePiece counts the points of the piece with distance > capacity
-// symbolically (countAffinePiece of Algorithm 1).
-func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64) (int64, error) {
+// symbolically (countAffinePiece of Algorithm 1), for every capacity.
+func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64) ([]int64, error) {
 	cc.stats.CountedPieces++
+	counts := make([]int64, len(capacities))
 	if c, ok := poly.IsConstant(); ok {
 		// Constant distance: either every point of the piece misses or none.
-		if c.Cmp(ints.RatInt(capacity)) <= 0 {
-			return 0, nil
+		// The piece is counted at most once, no matter how many capacities it
+		// exceeds.
+		var n int64
+		counted := false
+		for i, capacity := range capacities {
+			if c.Cmp(ints.RatInt(capacity)) <= 0 {
+				continue
+			}
+			if !counted {
+				var err error
+				n, err = counting.CountBasicSet(domain)
+				if err != nil {
+					n, err = domain.CountByScan()
+					if err != nil {
+						return nil, err
+					}
+				}
+				counted = true
+			}
+			counts[i] = n
 		}
-		n, err := counting.CountBasicSet(domain)
+		return counts, nil
+	}
+	for i, capacity := range capacities {
+		missSet, err := affineMissSet(domain, poly, capacity)
 		if err != nil {
-			return domain.CountByScan()
+			return nil, err
 		}
-		return n, nil
+		n, err := counting.CountBasicSet(missSet)
+		if err != nil {
+			// The symbolic counter could not handle the piece; enumeration of
+			// the restricted set stays exact.
+			n, err = missSet.CountByScan()
+			if err != nil {
+				return nil, err
+			}
+		}
+		counts[i] = n
 	}
-	missSet, err := affineMissSet(domain, poly, capacity)
-	if err != nil {
-		return 0, err
-	}
-	n, err := counting.CountBasicSet(missSet)
-	if err != nil {
-		// The symbolic counter could not handle the piece; enumeration of
-		// the restricted set stays exact.
-		return missSet.CountByScan()
-	}
-	return n, nil
+	return counts, nil
 }
 
 // affineMissSet intersects the domain with the constraint poly > capacity.
@@ -223,17 +317,19 @@ func affineMissSet(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64)
 }
 
 // partialEnumeration enumerates the values of the non-affine dimensions and
-// counts the remaining affine dimensions symbolically.
-func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64) (int64, error) {
+// counts the remaining affine dimensions symbolically. The enumeration and
+// the per-point domain/polynomial specialization are shared by all
+// capacities.
+func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64) ([]int64, error) {
 	enumDims := chooseEnumerationDims(poly)
 	if len(enumDims) == 0 || len(enumDims) >= domain.NDim() {
-		return 0, fmt.Errorf("core: no profitable partial enumeration split")
+		return nil, fmt.Errorf("core: no profitable partial enumeration split")
 	}
 	enumDomain, err := projectOnto(domain, enumDims)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	var total int64
+	total := make([]int64, len(capacities))
 	err = enumDomain.Scan(func(point []int64) error {
 		cc.stats.PartialEnumerationPoints++
 		boundDomain := domain
@@ -242,33 +338,37 @@ func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly q
 			boundDomain = boundDomain.FixDim(d, point[i])
 			boundPoly = boundPoly.BindVar(d, point[i])
 		}
-		n, err := cc.countPiece(boundDomain, boundPoly, capacity, false)
+		n, err := cc.countPiece(boundDomain, boundPoly, capacities, false)
 		if err != nil {
 			return err
 		}
-		total += n
+		addCounts(total, n)
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	return total, nil
 }
 
 // fullEnumeration walks every point of the piece and evaluates the
-// polynomial (the last resort of Algorithm 1).
-func (cc *capacityCounter) fullEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64) (int64, error) {
+// polynomial (the last resort of Algorithm 1). Every point is evaluated once
+// and the value classified against all capacities.
+func (cc *capacityCounter) fullEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64) ([]int64, error) {
 	cc.stats.CountedPieces++
-	var total int64
+	total := make([]int64, len(capacities))
 	err := domain.Scan(func(point []int64) error {
 		cc.stats.FullEnumerationPoints++
-		if poly.Eval(point).Cmp(ints.RatInt(capacity)) > 0 {
-			total++
+		v := poly.Eval(point)
+		for i, capacity := range capacities {
+			if v.Cmp(ints.RatInt(capacity)) > 0 {
+				total[i]++
+			}
 		}
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	return total, nil
 }

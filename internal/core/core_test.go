@@ -161,8 +161,12 @@ func TestPaperExampleWithCacheLines(t *testing.T) {
 }
 
 func TestGEMMSmall(t *testing.T) {
+	n := int64(12)
+	if testing.Short() {
+		n = 8
+	}
 	cfg := Config{LineSize: 64, CacheSizes: []int64{512, 2048, 16 * 1024}}
-	res := checkAgainstReference(t, gemm(12), cfg)
+	res := checkAgainstReference(t, gemm(n), cfg)
 	if res.UsedTraceFallback {
 		t.Fatal("gemm must be handled symbolically")
 	}
@@ -174,13 +178,20 @@ func TestGEMMSmall(t *testing.T) {
 func TestGEMMProblemSizeIndependentCounts(t *testing.T) {
 	// The same analysis at a larger size must still be exact; this exercises
 	// the symbolic counting rather than any enumeration path.
+	if testing.Short() {
+		t.Skip("the large problem size is the point of this test; skipping in short mode")
+	}
 	cfg := Config{LineSize: 64, CacheSizes: []int64{1024}}
 	checkAgainstReference(t, gemm(20), cfg)
 }
 
 func TestJacobi1D(t *testing.T) {
+	n, tsteps := int64(40), int64(3)
+	if testing.Short() {
+		n, tsteps = 16, 2
+	}
 	cfg := Config{LineSize: 64, CacheSizes: []int64{256, 1024}}
-	checkAgainstReference(t, jacobi1d(40, 3), cfg)
+	checkAgainstReference(t, jacobi1d(n, tsteps), cfg)
 }
 
 func TestTrisolvTriangular(t *testing.T) {
@@ -195,15 +206,19 @@ func TestStencil2D(t *testing.T) {
 
 func TestMultiLevelReusesDistances(t *testing.T) {
 	// Modeling more levels must not change the per-level results.
+	n := int64(10)
+	if testing.Short() {
+		n = 7
+	}
 	one := Config{LineSize: 64, CacheSizes: []int64{1024}}
 	three := Config{LineSize: 64, CacheSizes: []int64{1024, 4096, 16384}}
 	opts := DefaultOptions()
 	opts.TraceFallback = false
-	r1, err := Analyze(gemm(10), one, opts)
+	r1, err := Analyze(gemm(n), one, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r3, err := Analyze(gemm(10), three, opts)
+	r3, err := Analyze(gemm(n), three, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,8 +235,12 @@ func TestMultiLevelReusesDistances(t *testing.T) {
 
 func TestOptionTogglesKeepExactness(t *testing.T) {
 	// Disabling the optimizations changes performance, never results.
+	size := int64(12)
+	if testing.Short() {
+		size = 8
+	}
 	cfg := Config{LineSize: 32, CacheSizes: []int64{256}}
-	prog := trisolvLike(12)
+	prog := trisolvLike(size)
 	ref, err := SimulateReference(prog, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -266,10 +285,14 @@ func TestPerStatementBreakdown(t *testing.T) {
 }
 
 func TestStatsPopulated(t *testing.T) {
+	n := int64(16)
+	if testing.Short() {
+		n = 8
+	}
 	cfg := DefaultConfig()
 	opts := DefaultOptions()
 	opts.TraceFallback = false
-	res, err := Analyze(gemm(16), cfg, opts)
+	res, err := Analyze(gemm(n), cfg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"haystack/internal/cachesim"
@@ -58,6 +59,22 @@ type Options struct {
 	// result is still exact but the runtime becomes proportional to the
 	// number of memory accesses.
 	TraceFallback bool
+	// Parallelism is the number of worker goroutines of the analysis: the
+	// capacity miss counting engine fans the distance pieces out over the
+	// pool, and the stack distance computation uses it for the per-basic-map
+	// lexicographic maxima and the touched-line counting. Zero or negative
+	// selects runtime.NumCPU(). Results are bit-identical for every
+	// parallelism level.
+	Parallelism int
+}
+
+// effectiveParallelism resolves the Parallelism knob: values below one
+// select the number of CPUs.
+func effectiveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.NumCPU()
+	}
+	return p
 }
 
 // DefaultOptions enables every optimization.
@@ -88,7 +105,9 @@ type Stats struct {
 	DistancePieces int
 	// CountedPieces is the number of pieces counted separately while
 	// computing capacity misses (after equalization, rasterization, and
-	// partial enumeration splits), summed over all cache levels.
+	// partial enumeration splits). Every piece is split once and classified
+	// against all cache levels in a single pass, so the count is independent
+	// of the number of modeled levels.
 	CountedPieces int
 	// AffinePieces and NonAffinePieces classify the distance pieces.
 	AffinePieces    int
@@ -98,13 +117,37 @@ type Stats struct {
 	NonAffineByAffineDims map[int]int
 	// EqualizationSplits and RasterizationSplits count applications of the
 	// floor elimination techniques.
-	EqualizationSplits   int
-	RasterizationSplits  int
+	EqualizationSplits  int
+	RasterizationSplits int
 	// PartialEnumerationPoints is the number of enumerated points of
 	// non-affine dimensions; FullEnumerationPoints counts points that had to
 	// be enumerated exhaustively.
 	PartialEnumerationPoints int64
 	FullEnumerationPoints    int64
+
+	// CapacityWorkers is the number of worker goroutines the capacity miss
+	// counting engine ran with; CapacityWorkerTime holds the busy time of
+	// every worker (indexed by worker id). All other counters of Stats are
+	// merged deterministically from the per-worker accumulators and do not
+	// depend on the parallelism level.
+	CapacityWorkers    int
+	CapacityWorkerTime []time.Duration
+}
+
+// merge adds the additive counters of o into s. Timing fields and the
+// worker-pool bookkeeping are not merged: they are owned by the coordinating
+// goroutine.
+func (s *Stats) merge(o *Stats) {
+	s.CountedPieces += o.CountedPieces
+	s.AffinePieces += o.AffinePieces
+	s.NonAffinePieces += o.NonAffinePieces
+	for k, v := range o.NonAffineByAffineDims {
+		s.NonAffineByAffineDims[k] += v
+	}
+	s.EqualizationSplits += o.EqualizationSplits
+	s.RasterizationSplits += o.RasterizationSplits
+	s.PartialEnumerationPoints += o.PartialEnumerationPoints
+	s.FullEnumerationPoints += o.FullEnumerationPoints
 }
 
 // Result is the outcome of analyzing one program.
@@ -163,7 +206,7 @@ func Analyze(prog *scop.Program, cfg Config, opts Options) (*Result, error) {
 // analyzeSymbolically runs the full symbolic pipeline, filling res.
 func analyzeSymbolically(info *scop.PolyInfo, cfg Config, opts Options, res *Result) error {
 	tStack := time.Now()
-	distances, err := ComputeStackDistances(info, cfg.LineSize)
+	distances, err := ComputeStackDistancesWith(info, cfg.LineSize, effectiveParallelism(opts.Parallelism))
 	if err != nil {
 		return err
 	}
@@ -181,20 +224,26 @@ func analyzeSymbolically(info *scop.PolyInfo, cfg Config, opts Options, res *Res
 	res.PerStatementCompulsory = perStmt
 	res.Stats.CompulsoryTime = time.Since(tComp)
 
+	// All cache levels share one counting pass: the stack distance
+	// polynomial is level independent, so every piece is split once and its
+	// sub-pieces are classified against all capacities together.
 	tCap := time.Now()
+	lines := make([]int64, len(cfg.CacheSizes))
+	for i, size := range cfg.CacheSizes {
+		lines[i] = size / cfg.LineSize
+	}
+	counter := newCapacityCounter(opts, &res.Stats)
+	capMisses, perStmtCap, err := counter.Count(distances, lines)
+	if err != nil {
+		return err
+	}
 	res.Levels = res.Levels[:0]
-	for _, size := range cfg.CacheSizes {
-		lines := size / cfg.LineSize
-		counter := newCapacityCounter(opts, &res.Stats)
-		capMisses, perStmtCap, err := counter.Count(distances, lines)
-		if err != nil {
-			return err
-		}
+	for i, size := range cfg.CacheSizes {
 		res.Levels = append(res.Levels, LevelResult{
 			CacheBytes:           size,
-			CapacityMisses:       capMisses,
-			TotalMisses:          capMisses + compulsory,
-			PerStatementCapacity: perStmtCap,
+			CapacityMisses:       capMisses[i],
+			TotalMisses:          capMisses[i] + compulsory,
+			PerStatementCapacity: perStmtCap[i],
 		})
 	}
 	res.Stats.CapacityTime = time.Since(tCap)

@@ -6,6 +6,7 @@ import (
 
 	"haystack/internal/counting"
 	"haystack/internal/lexmin"
+	"haystack/internal/parwork"
 	"haystack/internal/presburger"
 	"haystack/internal/qpoly"
 	"haystack/internal/scop"
@@ -24,6 +25,14 @@ import (
 //	F  = (S⁻¹ ∘ L⪯ ∘ S) ∘ N⁻¹         (instances executed after the previous access)
 //	D  = |A ∘ (F ∩ B)|                (distinct lines touched in between)
 func ComputeStackDistances(info *scop.PolyInfo, lineSize int64) ([]StatementDistance, error) {
+	return ComputeStackDistancesWith(info, lineSize, 1)
+}
+
+// ComputeStackDistancesWith is ComputeStackDistances with the two dominant
+// stages — the per-basic-map lexicographic maxima and the per-statement
+// counting of touched lines — spread over the given number of worker
+// goroutines. The result is bit-identical for every worker count.
+func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int) ([]StatementDistance, error) {
 	S := info.Schedule()
 	A := info.LineAccessMap(lineSize)
 	Sinv := S.Reverse()
@@ -51,7 +60,7 @@ func ComputeStackDistances(info *scop.PolyInfo, lineSize int64) ([]StatementDist
 	// side that survives the following compositions.)
 	backwardEqual := equalMap.Intersect(presburger.LexGT(schedSpace))
 	backwardEqual = simplifyMap(backwardEqual)
-	prevSched, err := lexmin.MapLexmax(backwardEqual)
+	prevSched, err := lexmin.MapLexmaxWith(backwardEqual, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: previous-access lexmax: %w", err)
 	}
@@ -88,31 +97,58 @@ func ComputeStackDistances(info *scop.PolyInfo, lineSize int64) ([]StatementDist
 	}
 
 	// Count the distinct lines per statement instance: one piecewise
-	// quasi-polynomial per statement, summed over the accessed arrays.
+	// quasi-polynomial per statement, summed over the accessed arrays. The
+	// per-map cardinalities are independent, so they are computed on the
+	// worker pool; the per-statement sums fold the results in map order so
+	// the outcome matches the sequential computation exactly.
 	byStatement := map[string][]presburger.Map{}
 	for _, m := range touched.Maps() {
 		byStatement[m.InSpace().Name] = append(byStatement[m.InSpace().Name], m)
 	}
-	var result []StatementDistance
 	names := make([]string, 0, len(byStatement))
 	for name := range byStatement {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	type cardItem struct {
+		name string
+		m    presburger.Map
+		card qpoly.PwQPoly
+	}
+	var items []*cardItem
 	for _, name := range names {
-		ps, ok := info.StatementByName(name)
-		if !ok {
+		if _, ok := info.StatementByName(name); !ok {
 			return nil, fmt.Errorf("core: unknown statement %s in touched-line map", name)
 		}
-		total := qpoly.ZeroPw(ps.Space)
 		for _, m := range byStatement[name] {
-			card, err := counting.MapCard(simplifyMap(m))
-			if err != nil {
-				return nil, fmt.Errorf("core: counting touched lines for %s -> %s: %w", name, m.OutSpace().Name, err)
-			}
-			total = total.Add(card)
+			items = append(items, &cardItem{name: name, m: m})
 		}
-		result = append(result, StatementDistance{Statement: name, Distance: total})
+	}
+	err = parwork.Run(len(items), workers, func(idx int) error {
+		it := items[idx]
+		card, err := counting.MapCard(simplifyMap(it.m))
+		if err != nil {
+			return fmt.Errorf("core: counting touched lines for %s -> %s: %w", it.name, it.m.OutSpace().Name, err)
+		}
+		it.card = card
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	totals := make(map[string]qpoly.PwQPoly, len(names))
+	for _, name := range names {
+		ps, _ := info.StatementByName(name)
+		totals[name] = qpoly.ZeroPw(ps.Space)
+	}
+	// items is ordered by (statement, map index), so this single pass folds
+	// every statement's cards in map order.
+	for _, it := range items {
+		totals[it.name] = totals[it.name].Add(it.card)
+	}
+	var result []StatementDistance
+	for _, name := range names {
+		result = append(result, StatementDistance{Statement: name, Distance: totals[name]})
 	}
 	return result, nil
 }

@@ -53,7 +53,7 @@ func newSystem(bs presburger.BasicSet, nParam int) *system {
 	return s
 }
 
-func (s *system) ncols() int { return 1 + s.ndim + len(s.divs) }
+func (s *system) ncols() int       { return 1 + s.ndim + len(s.divs) }
 func (s *system) dimCol(i int) int { return 1 + i }
 func (s *system) divCol(i int) int { return 1 + s.ndim + i }
 

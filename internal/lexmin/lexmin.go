@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"haystack/internal/parwork"
 	"haystack/internal/presburger"
 )
 
@@ -25,14 +26,30 @@ var ErrUnsupported = errors.New("lexmin: outside supported fragment")
 // MapLexmin returns the relation that maps every input point of m to the
 // lexicographically smallest output point m relates it to. The result is
 // single-valued and covers exactly the domain of m.
-func MapLexmin(m presburger.Map) (presburger.Map, error) {
+func MapLexmin(m presburger.Map) (presburger.Map, error) { return MapLexminWith(m, 1) }
+
+// MapLexminWith is MapLexmin with the per-basic-map minima computed by the
+// given number of worker goroutines (values below one mean one). The basic
+// maps are independent; only their combination is order dependent (ties go
+// to the earlier relation), so the combining fold stays sequential in the
+// original order and the result is bit-identical for every worker count.
+func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
+	bms := m.Basics()
+	perBasic := make([][]presburger.BasicMap, len(bms))
+	err := parwork.Run(len(bms), workers, func(idx int) error {
+		pieces, err := basicLexmin(bms[idx])
+		if err != nil {
+			return err
+		}
+		perBasic[idx] = pieces
+		return nil
+	})
+	if err != nil {
+		return presburger.Map{}, err
+	}
 	result := presburger.EmptyMap(m.InSpace(), m.OutSpace())
 	first := true
-	for _, bm := range m.Basics() {
-		pieces, err := basicLexmin(bm)
-		if err != nil {
-			return presburger.Map{}, err
-		}
+	for _, pieces := range perBasic {
 		if len(pieces) == 0 {
 			continue
 		}
@@ -53,9 +70,13 @@ func MapLexmin(m presburger.Map) (presburger.Map, error) {
 
 // MapLexmax returns the relation mapping every input point to the
 // lexicographically largest related output point.
-func MapLexmax(m presburger.Map) (presburger.Map, error) {
+func MapLexmax(m presburger.Map) (presburger.Map, error) { return MapLexmaxWith(m, 1) }
+
+// MapLexmaxWith is MapLexmax computed by the given number of worker
+// goroutines (see MapLexminWith).
+func MapLexmaxWith(m presburger.Map, workers int) (presburger.Map, error) {
 	neg := negateOutputs(m)
-	mn, err := MapLexmin(neg)
+	mn, err := MapLexminWith(neg, workers)
 	if err != nil {
 		return presburger.Map{}, err
 	}
@@ -133,8 +154,8 @@ func pinDimension(piece presburger.BasicMap, nIn, nOut, d int) ([]presburger.Bas
 		}
 	}
 	type bound struct {
-		a int64           // positive coefficient of y_d
-		e presburger.Vec  // remainder: constraint is a*y_d + e >= 0
+		a int64          // positive coefficient of y_d
+		e presburger.Vec // remainder: constraint is a*y_d + e >= 0
 	}
 	var lowers []bound
 	for _, c := range cons {
@@ -288,4 +309,3 @@ func pruneEmpty(m presburger.Map) presburger.Map {
 	}
 	return presburger.MapFromBasics(keep...)
 }
-

@@ -94,11 +94,11 @@ func TestLexminPaperExampleNextMap(t *testing.T) {
 	in := presburger.NewSpace("T", "t0", "t1")
 	bm := presburger.UniverseBasicMap(in, in)
 	w := bm.NCols()
-	bm = bm.AddConstraint(eq(w, 0, 1, 0, 0, 0))        // t0 = 0
-	bm = bm.AddConstraint(eq(w, -1, 0, 0, 1, 0))       // t0' = 1
-	bm = bm.AddConstraint(eq(w, -3, 0, 1, 0, 1))       // t1 + t1' = 3
-	bm = bm.AddConstraint(ineq(w, 0, 0, 1, 0, 0))      // t1 >= 0
-	bm = bm.AddConstraint(ineq(w, 3, 0, -1, 0, 0))     // t1 <= 3
+	bm = bm.AddConstraint(eq(w, 0, 1, 0, 0, 0))    // t0 = 0
+	bm = bm.AddConstraint(eq(w, -1, 0, 0, 1, 0))   // t0' = 1
+	bm = bm.AddConstraint(eq(w, -3, 0, 1, 0, 1))   // t1 + t1' = 3
+	bm = bm.AddConstraint(ineq(w, 0, 0, 1, 0, 0))  // t1 >= 0
+	bm = bm.AddConstraint(ineq(w, 3, 0, -1, 0, 0)) // t1 <= 3
 	checkLexmin(t, presburger.MapFromBasic(bm), 2)
 }
 
@@ -258,7 +258,7 @@ func TestLexminUnionRandom(t *testing.T) {
 			bm = bm.AddConstraint(ineq(w, 7, -1, 0))
 			bm = bm.AddConstraint(ineq(w, int64(-rng.Intn(4)), 0, 1))
 			bm = bm.AddConstraint(ineq(w, int64(4+rng.Intn(4)), 0, -1))
-			bm = bm.AddConstraint(ineq(w, int64(rng.Intn(7)-3), int64(rng.Intn(3) - 1), 1))
+			bm = bm.AddConstraint(ineq(w, int64(rng.Intn(7)-3), int64(rng.Intn(3)-1), 1))
 			return bm
 		}
 		m := presburger.MapFromBasics(mk(), mk())
@@ -283,5 +283,64 @@ func TestLexminUnionRandom(t *testing.T) {
 				t.Fatalf("trial %d: at %s got %s want %v\nmap=%v", trial, in, gotPairs[in], y, m)
 			}
 		}
+	}
+}
+
+func TestLexminWorkerCountDoesNotChangeResult(t *testing.T) {
+	// The parallel per-basic-map fan-out must be invisible: the combined
+	// relation (including its piece structure) has to match the sequential
+	// computation exactly for any worker count.
+	s := presburger.NewSpace("S", "j", "k")
+	o := presburger.NewSpace("T", "j2", "k2")
+	mk := func() (presburger.BasicMap, int) {
+		bm := presburger.UniverseBasicMap(s, o)
+		w := bm.NCols()
+		for dim := 0; dim < 2; dim++ {
+			lo := presburger.NewVec(w)
+			lo[1+dim] = 1
+			bm = bm.AddConstraint(presburger.Constraint{C: lo})
+			hi := presburger.NewVec(w)
+			hi[1+dim] = -1
+			hi[0] = 7
+			bm = bm.AddConstraint(presburger.Constraint{C: hi})
+		}
+		return bm, w
+	}
+	c1, w := mk()
+	c1 = c1.AddConstraint(eq(w, 0, 1, 0, -1, 0))
+	c1 = c1.AddConstraint(eq(w, 1, 0, 1, 0, -1))
+	c1 = c1.AddConstraint(ineq(w, 6, 0, -1, 0, 0))
+	c2, _ := mk()
+	c2 = c2.AddConstraint(eq(w, 1, 1, 0, -1, 0))
+	c2 = c2.AddConstraint(eq(w, 0, 0, 0, 0, 1))
+	c2 = c2.AddConstraint(ineq(w, 6, -1, 0, 0, 0))
+	c3, _ := mk()
+	c3 = c3.AddConstraint(eq(w, 2, 1, 0, -1, 0))
+	c3 = c3.AddConstraint(eq(w, 0, 0, 1, 0, -1))
+	m := presburger.MapFromBasics(c1, c2, c3)
+
+	seq, err := MapLexmin(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := MapLexminWith(m, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got, want := par.String(), seq.String(); got != want {
+			t.Fatalf("workers=%d: result differs\nparallel:   %s\nsequential: %s", workers, got, want)
+		}
+	}
+	mx, err := MapLexmaxWith(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqMax, err := MapLexmax(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.String() != seqMax.String() {
+		t.Fatalf("lexmax differs between worker counts:\nparallel:   %s\nsequential: %s", mx.String(), seqMax.String())
 	}
 }

@@ -1,0 +1,90 @@
+// Package parwork runs a fixed number of independent work items on a small
+// pool of worker goroutines. It is the shared fan-out primitive of the
+// analysis pipeline: items are claimed from an atomic counter (cheap dynamic
+// load balancing for very unevenly sized items), results are written to
+// caller-owned, index-addressed slots (no channels, no locks on the result
+// path), and after a failure the pool stops claiming new items. Callers keep
+// determinism by folding their per-item results in item order afterwards.
+package parwork
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Run executes fn(0..n-1) on up to workers goroutines (values below one, or
+// above n, are clamped). When an item fails no further items are claimed and
+// the error of the lowest-indexed failed item is returned. fn must write its
+// result to a caller-owned slot at the item index; it is called exactly once
+// per claimed item.
+func Run(n, workers int, fn func(item int) error) error {
+	_, err := run(n, workers, false, func(_, item int) error { return fn(item) })
+	return err
+}
+
+// RunTimed is Run with per-worker bookkeeping: fn additionally receives the
+// worker id (0 <= worker < len(times)) and the returned slice holds every
+// worker's busy time. It is used where per-worker accumulators avoid
+// contention and the coordinator merges them in worker order afterwards.
+func RunTimed(n, workers int, fn func(worker, item int) error) (times []time.Duration, err error) {
+	return run(n, workers, true, fn)
+}
+
+func run(n, workers int, timed bool, fn func(worker, item int) error) ([]time.Duration, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		// Degenerate pool: run inline so single-threaded callers pay no
+		// goroutine or atomic overhead.
+		var times []time.Duration
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return nil, err
+			}
+		}
+		if timed {
+			times = []time.Duration{time.Since(start)}
+		}
+		return times, nil
+	}
+	errs := make([]error, n)
+	times := make([]time.Duration, workers)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			for !failed.Load() {
+				item := int(next.Add(1)) - 1
+				if item >= n {
+					break
+				}
+				if err := fn(w, item); err != nil {
+					errs[item] = err
+					failed.Store(true)
+					break
+				}
+			}
+			times[w] = time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !timed {
+		times = nil
+	}
+	return times, nil
+}

@@ -1,0 +1,99 @@
+package parwork
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunVisitsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		n := 100
+		visits := make([]int32, n)
+		err := Run(n, workers, func(item int) error {
+			atomic.AddInt32(&visits[item], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Run(10, 1, func(item int) error {
+		if item >= 4 {
+			return fmt.Errorf("item %d: %w", item, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if got, want := err.Error(), "item 4: boom"; got != want {
+		t.Fatalf("sequential run must fail at the first failing item: got %q, want %q", got, want)
+	}
+}
+
+func TestRunStopsClaimingAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	err := Run(1000, 2, func(item int) error {
+		ran.Add(1)
+		return errors.New("fail fast")
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := ran.Load(); n > 2 {
+		t.Fatalf("pool kept claiming items after failure: %d ran", n)
+	}
+}
+
+func TestRunTimedReportsPerWorkerTimes(t *testing.T) {
+	workerSeen := make([]int32, 3)
+	times, err := RunTimed(30, 3, func(worker, item int) error {
+		atomic.AddInt32(&workerSeen[worker], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("times = %v, want 3 entries", times)
+	}
+	var total int32
+	for _, n := range workerSeen {
+		total += n
+	}
+	if total != 30 {
+		t.Fatalf("items processed = %d, want 30", total)
+	}
+}
+
+func TestRunClampsWorkers(t *testing.T) {
+	times, err := RunTimed(2, 16, func(worker, item int) error {
+		if worker < 0 || worker >= 2 {
+			return fmt.Errorf("worker id %d out of range", worker)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Fatalf("expected the pool to clamp to 2 workers, got %d", len(times))
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	if err := Run(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

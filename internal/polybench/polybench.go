@@ -100,10 +100,10 @@ func (d dims) at(s Size) []int64 { return d[s] }
 
 // Convenience aliases to keep kernel definitions readable.
 var (
-	c = scop.C
-	x = scop.X
-	v = scop.V
-	f = scop.For
+	c  = scop.C
+	x  = scop.X
+	v  = scop.V
+	f  = scop.For
 	st = scop.Stmt
 	rd = scop.Read
 	wr = scop.Write

@@ -230,7 +230,7 @@ func (b *basic) fourierMotzkin(col int) error {
 	}
 	for _, lo := range lowers {
 		for _, up := range uppers {
-			a := lo.C[col]  // > 0:  a*x >= -lo_rest
+			a := lo.C[col]   // > 0:  a*x >= -lo_rest
 			bb := -up.C[col] // > 0:  bb*x <= up_rest
 			if a != 1 && bb != 1 {
 				return fmt.Errorf("%w: non-unit coefficients %d and %d in Fourier-Motzkin", ErrUnsupported, a, bb)

@@ -133,8 +133,8 @@ func TestDivConstraintScan(t *testing.T) {
 }
 
 func TestSetUnionIntersectSubtract(t *testing.T) {
-	a := SetFromBasic(boxSet("S", 6, 6).AddConstraint(ineq(boxSet("S", 6, 6).NCols(), 0, 1, -1)))  // j <= i
-	b := SetFromBasic(boxSet("S", 6, 6).AddConstraint(ineq(boxSet("S", 6, 6).NCols(), -2, 1, 0)))  // i >= 2
+	a := SetFromBasic(boxSet("S", 6, 6).AddConstraint(ineq(boxSet("S", 6, 6).NCols(), 0, 1, -1))) // j <= i
+	b := SetFromBasic(boxSet("S", 6, 6).AddConstraint(ineq(boxSet("S", 6, 6).NCols(), -2, 1, 0))) // i >= 2
 	uni := a.Union(b)
 	inter := a.Intersect(b)
 	diff := a.Subtract(b)
