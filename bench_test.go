@@ -16,6 +16,7 @@ import (
 	"haystack"
 	"haystack/internal/cachesim"
 	"haystack/internal/core"
+	"haystack/internal/explore"
 	"haystack/internal/reusedist"
 	"haystack/internal/scop"
 	"haystack/internal/tiling"
@@ -266,6 +267,54 @@ func BenchmarkTable1_NonAffineClassification(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := analyzeOnce(b, prog, benchConfig, haystack.DefaultOptions())
 		_ = res.Stats.NonAffineByAffineDims
+	}
+}
+
+// BenchmarkSweep_* measure the design-space exploration win of the
+// two-phase API on a grid of one kernel × four cache hierarchies: the
+// shared-distance sweep (internal/explore) computes the stack distance
+// model once and only pays the counting phase per hierarchy, while the
+// naive sweep repeats the full Analyze — and therefore the distance phase —
+// for every grid point. The shared sweep must win by roughly the ratio of
+// distance-phase to counting-phase cost.
+var sweepHierarchies = []haystack.Config{
+	{LineSize: 64, CacheSizes: []int64{1 * 1024}},
+	{LineSize: 64, CacheSizes: []int64{8 * 1024}},
+	{LineSize: 64, CacheSizes: []int64{64 * 1024}},
+	{LineSize: 64, CacheSizes: []int64{8 * 1024, 64 * 1024, 512 * 1024}},
+}
+
+func sweepAnalysisOptions() haystack.Options {
+	opts := haystack.DefaultOptions()
+	opts.Parallelism = 1
+	opts.TraceFallback = false
+	return opts
+}
+
+func BenchmarkSweep_SharedDistances(b *testing.B) {
+	grid := explore.Grid{
+		Kernels:     []explore.Kernel{{Name: "gemm", Program: smallGemm(8)}},
+		Hierarchies: sweepHierarchies,
+	}
+	opts := explore.Options{Analysis: sweepAnalysisOptions(), Parallelism: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := explore.Sweep(grid, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.DistanceComputations != 1 || res.Stats.Evaluations != len(sweepHierarchies) {
+			b.Fatalf("unexpected sweep shape: %+v", res.Stats)
+		}
+	}
+}
+
+func BenchmarkSweep_NaiveAnalyze(b *testing.B) {
+	prog := smallGemm(8)
+	opts := sweepAnalysisOptions()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range sweepHierarchies {
+			analyzeOnce(b, prog, cfg, opts)
+		}
 	}
 }
 

@@ -39,7 +39,7 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown kernel %q", *kernel)
 	}
-	sz, err := parseSize(*size)
+	sz, err := polybench.ParseSize(*size)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,15 +77,6 @@ func main() {
 		t.AddRow(lvl.Name, lvl.Accesses, lvl.Hits, lvl.Misses, lvl.Compulsory, ratio)
 	}
 	t.Write(os.Stdout)
-}
-
-func parseSize(s string) (polybench.Size, error) {
-	for _, sz := range polybench.Sizes() {
-		if strings.EqualFold(sz.String(), s) {
-			return sz, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown problem size %q", s)
 }
 
 func parseLevel(name, spec string) (cachesim.LevelConfig, error) {

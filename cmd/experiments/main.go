@@ -70,7 +70,7 @@ func main() {
 	}
 	opt := options{csv: *csv, line: *line, l1: *l1, l2: *l2, l3: *l3, sets: *sets, par: *parallelism}
 	var err error
-	opt.size, err = parseSize(*size)
+	opt.size, err = polybench.ParseSize(*size)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,15 +110,6 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: experiments <fig1|fig9|fig10|fig11|fig12|fig13|fig14|fig15a|fig15b|fig16|table1> [flags]")
-}
-
-func parseSize(s string) (polybench.Size, error) {
-	for _, sz := range polybench.Sizes() {
-		if strings.EqualFold(sz.String(), s) {
-			return sz, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown problem size %q", s)
 }
 
 func selectKernels(spec string) ([]polybench.Kernel, error) {

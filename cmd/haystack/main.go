@@ -44,7 +44,7 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown kernel %q (use -list to see the available kernels)", *kernel)
 	}
-	sz, err := parseSize(*size)
+	sz, err := polybench.ParseSize(*size)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,13 +91,4 @@ func main() {
 		fmt.Printf("capacity counting workers: %d, total busy time %v\n",
 			res.Stats.CapacityWorkers, busy.Round(1e6))
 	}
-}
-
-func parseSize(s string) (polybench.Size, error) {
-	for _, sz := range polybench.Sizes() {
-		if strings.EqualFold(sz.String(), s) {
-			return sz, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown problem size %q", s)
 }

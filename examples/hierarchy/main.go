@@ -1,7 +1,16 @@
-// Cache hierarchy exploration: model the same kernel against several cache
-// hierarchies at once. Because the stack distances are reused across cache
-// sizes (section 4.3 of the paper), adding levels is nearly free, which
-// makes sweeps over hypothetical cache configurations practical.
+// Cache hierarchy exploration with the two-phase API. The stack distances
+// of the kernel are computed once (haystack.ComputeDistances) and shared by
+// every query that follows:
+//
+//   - a capacity sweep over eleven hypothetical cache sizes, passed as ONE
+//     multi-level Config so the counting engine classifies every distance
+//     piece against all capacities in a single pass;
+//   - a later what-if hierarchy, answered by another CountMisses call on
+//     the same model without recomputing the distances.
+//
+// Because the distances are independent of the cache capacities (section
+// 4.3 of the paper), both queries only pay the counting phase, which makes
+// sweeps over cache designs practical.
 package main
 
 import (
@@ -18,23 +27,42 @@ func main() {
 	}
 	prog := k.Build(haystack.Small)
 
-	// Model a full hierarchy sweep: every power of two from 4 KiB to 4 MiB.
+	// Phase 1: the expensive, cache-independent stack distance model.
+	dm, err := haystack.ComputeDistances(prog, 64, haystack.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gemm (SMALL): %d accesses, %d compulsory misses, %d distance pieces (computed once in %v)\n\n",
+		dm.TotalAccesses, dm.CompulsoryMisses, dm.DistancePieces(), dm.ComputeTime().Round(1000000))
+
+	// Phase 2a: sweep hypothetical capacities — every power of two from
+	// 4 KiB to 4 MiB — as ONE multi-level configuration: the counting
+	// engine splits every distance piece once and classifies it against all
+	// eleven capacities together.
 	var sizes []int64
 	for s := int64(4 * 1024); s <= 4*1024*1024; s *= 2 {
 		sizes = append(sizes, s)
 	}
-	cfg := haystack.Config{LineSize: 64, CacheSizes: sizes}
-
-	res, err := haystack.Analyze(prog, cfg, haystack.DefaultOptions())
+	res, err := dm.CountMisses(haystack.Config{LineSize: 64, CacheSizes: sizes})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("gemm (SMALL): %d accesses, %d compulsory misses\n\n", res.TotalAccesses, res.CompulsoryMisses)
 	fmt.Printf("%12s  %12s  %10s\n", "cache size", "misses", "miss ratio")
 	for _, lvl := range res.Levels {
 		fmt.Printf("%9d KiB  %12d  %9.3f%%\n", lvl.CacheBytes/1024, lvl.TotalMisses,
 			100*float64(lvl.TotalMisses)/float64(res.TotalAccesses))
 	}
-	fmt.Printf("\nmodel time: %v (stack distances computed once, %d pieces)\n",
-		res.Stats.TotalTime.Round(1000000), res.Stats.CountedPieces)
+	fmt.Printf("\nsweep counting time: %v (%d pieces counted once for all %d capacities)\n",
+		res.Stats.CapacityTime.Round(1000000), res.Stats.CountedPieces, len(sizes))
+
+	// Phase 2b: a what-if question arriving later — a conventional two
+	// level hierarchy — reuses the same distance model: only the counting
+	// phase runs again.
+	whatIf, err := dm.CountMisses(haystack.Config{LineSize: 64, CacheSizes: []int64{32 * 1024, 1024 * 1024}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhat-if 32 KiB L1 + 1 MiB L2: %d / %d misses (counted in %v, distances reused)\n",
+		whatIf.Levels[0].TotalMisses, whatIf.Levels[1].TotalMisses,
+		whatIf.Stats.CapacityTime.Round(1000000))
 }

@@ -1,7 +1,15 @@
 // Tile size selection: the motivating use case of the paper. The example
 // builds tiled variants of matrix multiplication with different tile sizes
-// and uses the analytical model to pick the tile size with the fewest
-// predicted L1 misses — without ever executing the kernel.
+// and uses the cache model to pick the tile size with the fewest predicted
+// L1 misses — without ever running the kernel on hardware.
+//
+// The untiled baseline goes through the symbolic pipeline
+// (haystack.ComputeDistances); the tiled variants use the exact
+// trace-profile model (haystack.ComputeDistancesByProfiling), because the
+// deep loop nests tiling produces are very expensive to analyze
+// symbolically while the profile is exact and fast at this problem size.
+// Either way, each variant's distance model is built once and could be
+// reused across any number of cache hierarchies (see examples/hierarchy).
 package main
 
 import (
@@ -53,7 +61,21 @@ func main() {
 	bestTile, bestMisses := int64(0), int64(-1)
 	for _, t := range []int64{8, 16, 32, 64} {
 		prog := tiledGemm(n, t)
-		res, err := haystack.Analyze(prog, cfg, haystack.DefaultOptions())
+		var dm *haystack.DistanceModel
+		var err error
+		if t >= n {
+			// The untiled baseline is a shallow affine nest: the symbolic,
+			// problem-size-independent pipeline is the right tool.
+			dm, err = haystack.ComputeDistances(prog, cfg.LineSize, haystack.DefaultOptions())
+		} else {
+			// Tiled variants are five-deep nests with floor-heavy previous
+			// access relations: the exact trace profile is far cheaper.
+			dm, err = haystack.ComputeDistancesByProfiling(prog, cfg.LineSize)
+		}
+		if err != nil {
+			log.Fatalf("tile %d: %v", t, err)
+		}
+		res, err := dm.CountMisses(cfg)
 		if err != nil {
 			log.Fatalf("tile %d: %v", t, err)
 		}

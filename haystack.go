@@ -7,7 +7,11 @@
 // misses on a hierarchy of fully associative LRU caches without enumerating
 // the memory trace: the backward stack distance of every access is derived
 // symbolically as a piecewise quasi-polynomial and the misses are obtained by
-// symbolic counting. The package also bundles a trace-driven cache simulator
+// symbolic counting. The analysis is split into a cache-independent phase
+// (ComputeDistances) and a cheap per-hierarchy counting phase
+// (DistanceModel.CountMisses), so design-space sweeps over many cache
+// hierarchies pay the expensive phase once — see Analyze for the one-shot
+// composition. The package also bundles a trace-driven cache simulator
 // (a Dinero IV stand-in), an exact reuse-distance profiler, and the thirty
 // PolyBench kernels used in the paper's evaluation.
 //
@@ -88,7 +92,11 @@ func Write(a *Array, index ...Expr) Access { return scop.Write(a, index...) }
 // capacities in bytes); every level is a fully associative LRU cache.
 type Config = core.Config
 
-// Options toggles the optimizations of the miss counting stage.
+// Options configures the analysis: it toggles the optimizations of the miss
+// counting stage (equalization, rasterization, partial enumeration), the
+// exact trace-profiling fallback for programs outside the symbolic fragment,
+// and the number of worker goroutines via Parallelism (zero uses all cores;
+// results are bit-identical at every parallelism level).
 type Options = core.Options
 
 // Result is the outcome of analyzing a program.
@@ -111,9 +119,38 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // DefaultOptions enables every optimization of the model.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// Analyze runs the analytical cache model on a program.
+// Analyze runs the analytical cache model on a program: it composes the two
+// analysis phases, ComputeDistances and DistanceModel.CountMisses, for a
+// single cache hierarchy.
 func Analyze(p *Program, cfg Config, opts Options) (*Result, error) {
 	return core.Analyze(p, cfg, opts)
+}
+
+// DistanceModel is the reusable, cache-capacity-independent half of the
+// analysis: the symbolic stack distances of one program at a fixed cache
+// line size. One model answers CountMisses queries for arbitrarily many
+// cache hierarchies, so design-space sweeps pay the expensive distance
+// phase exactly once per program variant. It is safe for concurrent
+// CountMisses calls.
+type DistanceModel = core.DistanceModel
+
+// ComputeDistances runs the cache-independent phase of the analysis for the
+// given cache line size. Use the returned model's CountMisses to evaluate
+// cache hierarchies (their LineSize must match); each call returns a Result
+// identical to Analyze with the same options.
+func ComputeDistances(p *Program, lineSize int64, opts Options) (*DistanceModel, error) {
+	return core.ComputeDistances(p, lineSize, opts)
+}
+
+// ComputeDistancesByProfiling builds a DistanceModel from an exact stack
+// distance profile of the program trace instead of the symbolic pipeline.
+// The results are equally exact and equally reusable across hierarchies,
+// but the construction cost is proportional to the trace length rather
+// than problem-size independent. Use it for programs the symbolic pipeline
+// handles slowly — most notably the deep loop nests produced by tiling;
+// results carry UsedTraceFallback to keep the provenance visible.
+func ComputeDistancesByProfiling(p *Program, lineSize int64) (*DistanceModel, error) {
+	return core.ComputeDistancesByProfiling(p, lineSize)
 }
 
 // SimulateReference computes exact miss counts by replaying the program

@@ -168,7 +168,12 @@ type Result struct {
 	FallbackReason string
 }
 
-// Analyze runs the cache model on a program.
+// Analyze runs the cache model on a program. It is the single-shot
+// composition of the two analysis phases: ComputeDistances derives the
+// cache-independent stack distance model and CountMisses classifies it
+// against the hierarchy. Callers evaluating one program against several
+// hierarchies (design-space exploration) should call the phases directly and
+// reuse the DistanceModel, which amortizes the expensive distance phase.
 func Analyze(prog *scop.Program, cfg Config, opts Options) (*Result, error) {
 	start := time.Now()
 	if cfg.LineSize <= 0 {
@@ -177,101 +182,16 @@ func Analyze(prog *scop.Program, cfg Config, opts Options) (*Result, error) {
 	if len(cfg.CacheSizes) == 0 {
 		return nil, fmt.Errorf("core: at least one cache size is required")
 	}
-	res := &Result{Kernel: prog.Name, Stats: Stats{NonAffineByAffineDims: map[int]int{}}}
-
-	info, err := scop.BuildPoly(prog)
+	dm, err := ComputeDistances(prog, cfg.LineSize, opts)
 	if err != nil {
 		return nil, err
 	}
-	res.TotalAccesses, err = totalAccesses(info)
+	res, err := dm.CountMisses(cfg)
 	if err != nil {
 		return nil, err
-	}
-
-	symErr := analyzeSymbolically(info, cfg, opts, res)
-	if symErr != nil {
-		if !opts.TraceFallback {
-			return nil, symErr
-		}
-		if err := analyzeByProfiling(prog, cfg, res); err != nil {
-			return nil, err
-		}
-		res.UsedTraceFallback = true
-		res.FallbackReason = symErr.Error()
 	}
 	res.Stats.TotalTime = time.Since(start)
 	return res, nil
-}
-
-// analyzeSymbolically runs the full symbolic pipeline, filling res.
-func analyzeSymbolically(info *scop.PolyInfo, cfg Config, opts Options, res *Result) error {
-	tStack := time.Now()
-	distances, err := ComputeStackDistancesWith(info, cfg.LineSize, effectiveParallelism(opts.Parallelism))
-	if err != nil {
-		return err
-	}
-	res.Stats.StackDistanceTime = time.Since(tStack)
-	for _, d := range distances {
-		res.Stats.DistancePieces += d.Distance.NumPieces()
-	}
-
-	tComp := time.Now()
-	compulsory, perStmt, err := CountCompulsoryMisses(info, cfg.LineSize)
-	if err != nil {
-		return err
-	}
-	res.CompulsoryMisses = compulsory
-	res.PerStatementCompulsory = perStmt
-	res.Stats.CompulsoryTime = time.Since(tComp)
-
-	// All cache levels share one counting pass: the stack distance
-	// polynomial is level independent, so every piece is split once and its
-	// sub-pieces are classified against all capacities together.
-	tCap := time.Now()
-	lines := make([]int64, len(cfg.CacheSizes))
-	for i, size := range cfg.CacheSizes {
-		lines[i] = size / cfg.LineSize
-	}
-	counter := newCapacityCounter(opts, &res.Stats)
-	capMisses, perStmtCap, err := counter.Count(distances, lines)
-	if err != nil {
-		return err
-	}
-	res.Levels = res.Levels[:0]
-	for i, size := range cfg.CacheSizes {
-		res.Levels = append(res.Levels, LevelResult{
-			CacheBytes:           size,
-			CapacityMisses:       capMisses[i],
-			TotalMisses:          capMisses[i] + compulsory,
-			PerStatementCapacity: perStmtCap[i],
-		})
-	}
-	res.Stats.CapacityTime = time.Since(tCap)
-	return nil
-}
-
-// analyzeByProfiling computes exact miss counts by replaying the trace
-// through the stack distance profiler (problem size dependent, used only as
-// a fallback).
-func analyzeByProfiling(prog *scop.Program, cfg Config, res *Result) error {
-	layout := scop.NewLayout(prog, scop.LayoutPadded, cfg.LineSize)
-	cp, err := scop.Compile(prog, layout)
-	if err != nil {
-		return err
-	}
-	profile := reusedist.ProfileProgram(cp, cfg.LineSize)
-	res.CompulsoryMisses = profile.Compulsory
-	res.Levels = res.Levels[:0]
-	for _, size := range cfg.CacheSizes {
-		lines := size / cfg.LineSize
-		capMisses := profile.CapacityMissesFor(lines)
-		res.Levels = append(res.Levels, LevelResult{
-			CacheBytes:     size,
-			CapacityMisses: capMisses,
-			TotalMisses:    capMisses + profile.Compulsory,
-		})
-	}
-	return nil
 }
 
 // totalAccesses counts the dynamic memory accesses of the program (the

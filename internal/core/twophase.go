@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"haystack/internal/reusedist"
+	"haystack/internal/scop"
+)
+
+// DistanceModel is the reusable, cache-capacity-independent half of the
+// analysis: the backward stack distance piecewise quasi-polynomials of one
+// program at a fixed cache line size, together with the compulsory miss
+// counts and the total access count. The stack distances do not depend on
+// the cache capacities (section 3.1 of the paper), so one DistanceModel can
+// classify its distances against arbitrarily many cache hierarchies via
+// CountMisses — the expensive symbolic phase is paid exactly once per
+// (program, line size) pair. This split is what makes design-space
+// exploration sweeps (internal/explore, cmd/tune) cheap: only the
+// comparatively fast counting phase runs per hierarchy.
+//
+// A DistanceModel is safe for concurrent CountMisses calls.
+type DistanceModel struct {
+	// Kernel is the name of the analyzed program.
+	Kernel string
+	// LineSize is the cache line size in bytes the distances were computed
+	// for; CountMisses only accepts configurations with the same line size.
+	LineSize int64
+	// TotalAccesses is the number of dynamic memory accesses of the program.
+	TotalAccesses int64
+	// CompulsoryMisses is the number of distinct cache lines the program
+	// touches (the first access of every line misses at every level).
+	CompulsoryMisses int64
+
+	opts              Options
+	prog              *scop.Program
+	distances         []StatementDistance
+	perStmtCompulsory map[string]int64
+	// baseStats holds the distance-phase statistics (stack distance and
+	// compulsory timing, piece counts) copied into every CountMisses result.
+	baseStats   Stats
+	computeTime time.Duration
+
+	// fallbackReason is non-empty when the symbolic distance phase failed
+	// and the model operates on an exact trace profile instead. The profile
+	// is also capacity independent, so fallback models amortize across
+	// hierarchies exactly like symbolic ones.
+	fallbackReason string
+	profileOnce    sync.Once
+	profile        reusedist.Profile
+	profileErr     error
+}
+
+// ComputeDistances runs the cache-independent phase of the analysis: it
+// extracts the polyhedral description of the program and derives the stack
+// distance quasi-polynomials and the compulsory misses for the given line
+// size. The returned model answers CountMisses queries for any hierarchy
+// sharing that line size without recomputing the distances.
+//
+// When the symbolic pipeline cannot handle the program and
+// opts.TraceFallback is set, the model falls back to an exact stack distance
+// profile of the trace; results stay exact (CountMisses marks them with
+// UsedTraceFallback) and are still shared across hierarchies.
+func ComputeDistances(prog *scop.Program, lineSize int64, opts Options) (*DistanceModel, error) {
+	start := time.Now()
+	if lineSize <= 0 {
+		return nil, fmt.Errorf("core: line size must be positive")
+	}
+	dm := &DistanceModel{Kernel: prog.Name, LineSize: lineSize, opts: opts, prog: prog}
+	dm.baseStats.NonAffineByAffineDims = map[int]int{}
+
+	info, err := scop.BuildPoly(prog)
+	if err != nil {
+		return nil, err
+	}
+	dm.TotalAccesses, err = totalAccesses(info)
+	if err != nil {
+		return nil, err
+	}
+
+	if symErr := dm.computeSymbolic(info); symErr != nil {
+		if !opts.TraceFallback {
+			return nil, symErr
+		}
+		if err := dm.ensureProfile(); err != nil {
+			return nil, err
+		}
+		dm.fallbackReason = symErr.Error()
+		dm.distances = nil
+		dm.perStmtCompulsory = nil
+		// Discard any partial symbolic statistics (the stack distance stage
+		// may have succeeded before a later stage failed): fallback models
+		// answer from the profile, so their results must not carry
+		// distance-phase stats.
+		dm.baseStats = Stats{NonAffineByAffineDims: map[int]int{}}
+		dm.CompulsoryMisses = dm.profile.Compulsory
+	}
+	dm.computeTime = time.Since(start)
+	return dm, nil
+}
+
+// ComputeDistancesByProfiling builds a DistanceModel from an exact stack
+// distance profile of the trace without attempting the symbolic pipeline.
+// The resulting model answers CountMisses queries for any hierarchy with
+// the given line size, exactly like a symbolic model (the profile, too, is
+// capacity independent), and its results are exact — but the construction
+// cost is proportional to the trace length rather than problem-size
+// independent. It is the strategy of choice for programs that are
+// expensive to analyze symbolically, such as the deep loop nests tiling
+// produces (explore.TiledProfile); results carry UsedTraceFallback so the
+// provenance stays visible.
+func ComputeDistancesByProfiling(prog *scop.Program, lineSize int64) (*DistanceModel, error) {
+	start := time.Now()
+	if lineSize <= 0 {
+		return nil, fmt.Errorf("core: line size must be positive")
+	}
+	dm := &DistanceModel{Kernel: prog.Name, LineSize: lineSize, prog: prog}
+	dm.baseStats.NonAffineByAffineDims = map[int]int{}
+	dm.fallbackReason = "exact trace profiling requested"
+	if err := dm.ensureProfile(); err != nil {
+		return nil, err
+	}
+	dm.TotalAccesses = dm.profile.Accesses
+	dm.CompulsoryMisses = dm.profile.Compulsory
+	dm.computeTime = time.Since(start)
+	return dm, nil
+}
+
+// computeSymbolic fills the model from the symbolic pipeline: stack
+// distances (section 3.1) and compulsory misses (section 3.4).
+func (dm *DistanceModel) computeSymbolic(info *scop.PolyInfo) error {
+	tStack := time.Now()
+	distances, err := ComputeStackDistancesWith(info, dm.LineSize, effectiveParallelism(dm.opts.Parallelism))
+	if err != nil {
+		return err
+	}
+	dm.baseStats.StackDistanceTime = time.Since(tStack)
+	for _, d := range distances {
+		dm.baseStats.DistancePieces += d.Distance.NumPieces()
+	}
+	dm.distances = distances
+
+	tComp := time.Now()
+	compulsory, perStmt, err := CountCompulsoryMisses(info, dm.LineSize)
+	if err != nil {
+		return err
+	}
+	dm.CompulsoryMisses = compulsory
+	dm.perStmtCompulsory = perStmt
+	dm.baseStats.CompulsoryTime = time.Since(tComp)
+	return nil
+}
+
+// UsedTraceFallback reports whether the symbolic distance phase failed and
+// the model answers queries from an exact trace profile instead.
+func (dm *DistanceModel) UsedTraceFallback() bool { return dm.fallbackReason != "" }
+
+// ComputeTime returns the wall-clock time ComputeDistances spent building
+// the model (the cost amortized across CountMisses calls).
+func (dm *DistanceModel) ComputeTime() time.Duration { return dm.computeTime }
+
+// DistancePieces returns the number of pieces of the stack distance
+// quasi-polynomials (zero for fallback models).
+func (dm *DistanceModel) DistancePieces() int { return dm.baseStats.DistancePieces }
+
+// Distances returns the per-statement stack distance quasi-polynomials (nil
+// for fallback models). The slice is shared; callers must not modify it.
+func (dm *DistanceModel) Distances() []StatementDistance { return dm.distances }
+
+// CountMisses runs the capacity-dependent phase: it classifies the stack
+// distances of the model against every capacity of the hierarchy and
+// returns a Result identical to Analyze(prog, cfg, opts) — the distance
+// phase is simply not paid again. cfg.LineSize must match the line size the
+// distances were computed for. The counting engine uses the parallelism of
+// the options the model was built with.
+func (dm *DistanceModel) CountMisses(cfg Config) (*Result, error) {
+	return dm.CountMissesWith(cfg, dm.opts.Parallelism)
+}
+
+// CountMissesWith is CountMisses with an explicit worker count for the
+// counting engine, overriding Options.Parallelism. Callers that already
+// fan out over configurations (internal/explore) use it to keep the total
+// goroutine count bounded; results are bit-identical for every worker
+// count.
+func (dm *DistanceModel) CountMissesWith(cfg Config, workers int) (*Result, error) {
+	start := time.Now()
+	if cfg.LineSize != dm.LineSize {
+		return nil, fmt.Errorf("core: distance model was computed for line size %d, not %d", dm.LineSize, cfg.LineSize)
+	}
+	if len(cfg.CacheSizes) == 0 {
+		return nil, fmt.Errorf("core: at least one cache size is required")
+	}
+	res := &Result{Kernel: dm.Kernel, TotalAccesses: dm.TotalAccesses, Stats: dm.baseStats.clone()}
+	if dm.fallbackReason != "" {
+		dm.fillFromProfile(res, cfg)
+		res.UsedTraceFallback = true
+		res.FallbackReason = dm.fallbackReason
+		res.Stats.TotalTime = dm.computeTime + time.Since(start)
+		return res, nil
+	}
+	res.CompulsoryMisses = dm.CompulsoryMisses
+	res.PerStatementCompulsory = cloneCounts(dm.perStmtCompulsory)
+	if countErr := dm.countSymbolic(cfg, workers, res); countErr != nil {
+		if !dm.opts.TraceFallback {
+			return nil, countErr
+		}
+		if err := dm.ensureProfile(); err != nil {
+			return nil, err
+		}
+		dm.fillFromProfile(res, cfg)
+		res.UsedTraceFallback = true
+		res.FallbackReason = countErr.Error()
+	}
+	res.Stats.TotalTime = dm.computeTime + time.Since(start)
+	return res, nil
+}
+
+// countSymbolic counts the capacity misses of every level with the shared
+// single-pass counting engine (Algorithm 1), fanned out over the given
+// number of workers.
+func (dm *DistanceModel) countSymbolic(cfg Config, workers int, res *Result) error {
+	tCap := time.Now()
+	lines := make([]int64, len(cfg.CacheSizes))
+	for i, size := range cfg.CacheSizes {
+		lines[i] = size / cfg.LineSize
+	}
+	countOpts := dm.opts
+	countOpts.Parallelism = workers
+	counter := newCapacityCounter(countOpts, &res.Stats)
+	capMisses, perStmtCap, err := counter.Count(dm.distances, lines)
+	if err != nil {
+		return err
+	}
+	res.Levels = res.Levels[:0]
+	for i, size := range cfg.CacheSizes {
+		res.Levels = append(res.Levels, LevelResult{
+			CacheBytes:           size,
+			CapacityMisses:       capMisses[i],
+			TotalMisses:          capMisses[i] + res.CompulsoryMisses,
+			PerStatementCapacity: perStmtCap[i],
+		})
+	}
+	res.Stats.CapacityTime = time.Since(tCap)
+	return nil
+}
+
+// ensureProfile lazily computes the exact stack distance profile of the
+// trace (padded layout, like SimulateReference) exactly once, no matter how
+// many CountMisses calls need it.
+func (dm *DistanceModel) ensureProfile() error {
+	dm.profileOnce.Do(func() {
+		layout := scop.NewLayout(dm.prog, scop.LayoutPadded, dm.LineSize)
+		cp, err := scop.Compile(dm.prog, layout)
+		if err != nil {
+			dm.profileErr = err
+			return
+		}
+		dm.profile = reusedist.ProfileProgram(cp, dm.LineSize)
+	})
+	return dm.profileErr
+}
+
+// fillFromProfile fills the per-level miss counts of res from the exact
+// trace profile; the profile answers any capacity, so this path shares the
+// profile across hierarchies the same way the symbolic path shares the
+// distances.
+func (dm *DistanceModel) fillFromProfile(res *Result, cfg Config) {
+	res.CompulsoryMisses = dm.profile.Compulsory
+	res.Levels = res.Levels[:0]
+	for _, size := range cfg.CacheSizes {
+		capMisses := dm.profile.CapacityMissesFor(size / cfg.LineSize)
+		res.Levels = append(res.Levels, LevelResult{
+			CacheBytes:     size,
+			CapacityMisses: capMisses,
+			TotalMisses:    capMisses + res.CompulsoryMisses,
+		})
+	}
+}
+
+// clone deep-copies the stats so concurrent CountMisses calls never share
+// the histogram map or the worker time slice.
+func (s Stats) clone() Stats {
+	out := s
+	out.NonAffineByAffineDims = make(map[int]int, len(s.NonAffineByAffineDims))
+	for k, v := range s.NonAffineByAffineDims {
+		out.NonAffineByAffineDims[k] = v
+	}
+	out.CapacityWorkerTime = append([]time.Duration(nil), s.CapacityWorkerTime...)
+	return out
+}
+
+func cloneCounts(m map[string]int64) map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Objective ranks evaluations of a sweep; lower scores are better.
+type Objective int
+
+const (
+	// MinL1Misses minimizes the total misses of the innermost cache level,
+	// the classic tile size selection objective.
+	MinL1Misses Objective = iota
+	// MinLastLevelMisses minimizes the total misses of the outermost level
+	// (the traffic that reaches main memory).
+	MinLastLevelMisses
+	// MinTotalMisses minimizes the sum of total misses across all levels (a
+	// proxy for the total traffic between adjacent hierarchy levels).
+	MinTotalMisses
+)
+
+// String returns the flag spelling of the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinL1Misses:
+		return "l1"
+	case MinLastLevelMisses:
+		return "llc"
+	case MinTotalMisses:
+		return "total"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ParseObjective parses the flag spelling of an objective (l1, llc, total).
+func ParseObjective(s string) (Objective, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "l1":
+		return MinL1Misses, nil
+	case "llc":
+		return MinLastLevelMisses, nil
+	case "total":
+		return MinTotalMisses, nil
+	}
+	return 0, fmt.Errorf("explore: unknown objective %q (want l1, llc, or total)", s)
+}
+
+// Score returns the objective value of an evaluation (lower is better).
+func (o Objective) Score(e Evaluation) int64 {
+	levels := e.Result.Levels
+	switch o {
+	case MinL1Misses:
+		return levels[0].TotalMisses
+	case MinLastLevelMisses:
+		return levels[len(levels)-1].TotalMisses
+	default:
+		var sum int64
+		for _, l := range levels {
+			sum += l.TotalMisses
+		}
+		return sum
+	}
+}
+
+// Best pairs a kernel with its best grid point under an objective.
+type Best struct {
+	Kernel     string
+	Evaluation Evaluation
+	// Score is the objective value of the winning evaluation.
+	Score int64
+}
+
+// BestPerKernel returns, for every kernel of the sweep in grid order, the
+// evaluation with the smallest objective score. Ties break towards the
+// earlier grid point (smaller tile size, earlier hierarchy), so the outcome
+// is deterministic.
+func (r *Result) BestPerKernel(obj Objective) []Best {
+	var out []Best
+	index := map[string]int{}
+	for _, e := range r.Evaluations {
+		score := obj.Score(e)
+		i, seen := index[e.Kernel]
+		if !seen {
+			index[e.Kernel] = len(out)
+			out = append(out, Best{Kernel: e.Kernel, Evaluation: e, Score: score})
+			continue
+		}
+		if score < out[i].Score {
+			out[i] = Best{Kernel: e.Kernel, Evaluation: e, Score: score}
+		}
+	}
+	return out
+}

@@ -15,6 +15,7 @@ package polybench
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"haystack/internal/scop"
 )
@@ -50,6 +51,17 @@ func (s Size) String() string {
 
 // Sizes lists all problem sizes from small to large.
 func Sizes() []Size { return []Size{Mini, Small, Medium, Large, ExtraLarge} }
+
+// ParseSize parses a problem size by its PolyBench name (case insensitive);
+// it is the shared flag parser of the command line tools.
+func ParseSize(s string) (Size, error) {
+	for _, sz := range Sizes() {
+		if strings.EqualFold(sz.String(), s) {
+			return sz, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown problem size %q", s)
+}
 
 // Kernel is one benchmark kernel.
 type Kernel struct {

@@ -1,9 +1,11 @@
-// Package report provides small text-table and series formatting helpers for
-// the experiment harness, so that every figure and table of the paper can be
-// regenerated as aligned console output or CSV.
+// Package report provides small text-table and series formatting helpers
+// for the experiment harness and the design-space exploration CLI, so that
+// every figure and table of the paper — and every sweep of cmd/tune — can
+// be rendered as aligned console output, CSV, or JSON.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -76,6 +78,42 @@ func (t *Table) WriteCSV(w io.Writer) {
 	for _, row := range t.Rows {
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}
+}
+
+// jsonTable is the JSON shape of a table: the title and one object per row
+// keyed by the column headers.
+type jsonTable struct {
+	Title string              `json:"title,omitempty"`
+	Rows  []map[string]string `json:"rows"`
+}
+
+// JSONValue returns the table as a JSON-marshalable value, so callers can
+// embed several tables in one enclosing document. Cells keep the string
+// formatting of the table so all output formats agree on the values.
+func (t *Table) JSONValue() interface{} {
+	d := jsonTable{Title: t.Title, Rows: make([]map[string]string, 0, len(t.Rows))}
+	for _, row := range t.Rows {
+		obj := make(map[string]string, len(t.Headers))
+		for i, h := range t.Headers {
+			if i < len(row) {
+				obj[h] = row[i]
+			}
+		}
+		d.Rows = append(d.Rows, obj)
+	}
+	return d
+}
+
+// WriteJSON renders the table as a single JSON document (see JSONValue).
+func (t *Table) WriteJSON(w io.Writer) error {
+	return WriteJSON(w, t.JSONValue())
+}
+
+// WriteJSON writes one value as an indented JSON document.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func pad(s string, w int) string {

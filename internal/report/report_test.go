@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("sample", "kernel", "misses", "ratio")
+	t.AddRow("gemm", 1234, 0.25)
+	t.AddRow("atax", 56, 0.125)
+	return t
+}
+
+func TestTableWriteAligned(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Write(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "# sample\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected title+header+separator+2 rows, got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "kernel") || !strings.Contains(lines[3], "gemm") {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().WriteCSV(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "kernel,misses,ratio" || lines[1] != "gemm,1234,0.25" {
+		t.Fatalf("unexpected CSV:\n%s", buf.String())
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Title != "sample" || len(doc.Rows) != 2 {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	if doc.Rows[0]["kernel"] != "gemm" || doc.Rows[1]["misses"] != "56" {
+		t.Fatalf("unexpected rows: %+v", doc.Rows)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", g)
+	}
+	// Non-positive entries are ignored, matching the paper's speedup plots.
+	if g := GeoMean([]float64{2, 8, 0, -1}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean with non-positive entries = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", g)
+	}
+}

@@ -104,6 +104,110 @@ func TestTileSizeOneIsIdentity(t *testing.T) {
 	}
 }
 
+// imperfectNest wraps a statement and a rectangular two-loop band in the
+// same outer loop: the outer loop cannot join a band, but the inner band
+// must still be tiled.
+func imperfectNest(n int64) *scop.Program {
+	p := scop.NewProgram("imperfect")
+	a := p.NewArray("A", scop.ElemFloat64, n, n)
+	d := p.NewArray("d", scop.ElemFloat64, n)
+	t, i, j := scop.V("t"), scop.V("i"), scop.V("j")
+	p.Add(scop.For(t, scop.C(0), scop.C(2),
+		scop.Stmt("S0", scop.Write(d, scop.X(t))),
+		scop.For(i, scop.C(0), scop.C(n),
+			scop.For(j, scop.C(0), scop.C(n),
+				scop.Stmt("S1", scop.Read(a, scop.X(j), scop.X(i)), scop.Write(a, scop.X(i), scop.X(j)))))))
+	return p
+}
+
+// triangularOverRectangular nests a rectangular two-loop band below a
+// triangular pair: only the inner band may be tiled, with bounds that
+// reference the enclosing loop variables.
+func triangularOverRectangular(n int64) *scop.Program {
+	p := scop.NewProgram("tri-over-rect")
+	a := p.NewArray("A", scop.ElemFloat64, n, n)
+	i, j, k, l := scop.V("i"), scop.V("j"), scop.V("k"), scop.V("l")
+	p.Add(scop.For(i, scop.C(0), scop.C(n),
+		scop.For(j, scop.C(0), scop.X(i).Plus(scop.C(1)),
+			scop.For(k, scop.C(0), scop.C(n),
+				scop.For(l, scop.C(0), scop.C(n),
+					scop.Stmt("S0", scop.Read(a, scop.X(k), scop.X(l)), scop.Read(a, scop.X(l), scop.X(k))))))))
+	return p
+}
+
+func TestImperfectNestTilesInnerBand(t *testing.T) {
+	for _, n := range []int64{16, 20} {
+		orig := imperfectNest(n)
+		tiled, ok := Tile(orig, 8)
+		if !ok {
+			t.Fatalf("n=%d: the inner rectangular band of the imperfect nest must be tiled", n)
+		}
+		if err := tiled.Validate(); err != nil {
+			t.Fatalf("n=%d: tiled program invalid: %v", n, err)
+		}
+		cpO := mustCompile(t, orig, scop.NewLayout(orig, scop.LayoutNatural, 64))
+		cpT := mustCompile(t, tiled, scop.NewLayout(tiled, scop.LayoutNatural, 64))
+		if cpO.CountAccesses() != cpT.CountAccesses() {
+			t.Fatalf("n=%d: access count changed: %d vs %d", n, cpO.CountAccesses(), cpT.CountAccesses())
+		}
+		profO := reusedist.ProfileProgram(cpO, 64)
+		profT := reusedist.ProfileProgram(cpT, 64)
+		if profO.Compulsory != profT.Compulsory {
+			t.Fatalf("n=%d: footprint changed: %d vs %d lines", n, profO.Compulsory, profT.Compulsory)
+		}
+	}
+}
+
+func TestTriangularOverRectangularTilesInnerBandOnly(t *testing.T) {
+	orig := triangularOverRectangular(6)
+	tiled, ok := Tile(orig, 4)
+	if !ok {
+		t.Fatal("the rectangular inner band must be tiled even below a triangular pair")
+	}
+	if err := tiled.Validate(); err != nil {
+		t.Fatalf("tiled program invalid: %v", err)
+	}
+	cpO := mustCompile(t, orig, scop.NewLayout(orig, scop.LayoutNatural, 64))
+	cpT := mustCompile(t, tiled, scop.NewLayout(tiled, scop.LayoutNatural, 64))
+	if cpO.CountAccesses() != cpT.CountAccesses() {
+		t.Fatalf("access count changed: %d vs %d", cpO.CountAccesses(), cpT.CountAccesses())
+	}
+	if profO, profT := reusedist.ProfileProgram(cpO, 64), reusedist.ProfileProgram(cpT, 64); profO.Compulsory != profT.Compulsory {
+		t.Fatalf("footprint changed: %d vs %d lines", profO.Compulsory, profT.Compulsory)
+	}
+}
+
+// TestTileSizeAtLeastExtent: tiles covering the whole iteration space must
+// keep the program semantically identical — a single tile executes the
+// original order, so even the full reuse profile is unchanged.
+func TestTileSizeAtLeastExtent(t *testing.T) {
+	n := int64(16)
+	for _, tile := range []int64{16, 32, 100} {
+		orig := rectangularNest(n)
+		tiled, ok := Tile(orig, tile)
+		if !ok {
+			t.Fatalf("tile=%d: the rectangular band must still be tiled", tile)
+		}
+		if err := tiled.Validate(); err != nil {
+			t.Fatalf("tile=%d: tiled program invalid: %v", tile, err)
+		}
+		cpO := mustCompile(t, orig, scop.NewLayout(orig, scop.LayoutNatural, 64))
+		cpT := mustCompile(t, tiled, scop.NewLayout(tiled, scop.LayoutNatural, 64))
+		profO := reusedist.ProfileProgram(cpO, 64)
+		profT := reusedist.ProfileProgram(cpT, 64)
+		if profO.Accesses != profT.Accesses || profO.Compulsory != profT.Compulsory {
+			t.Fatalf("tile=%d: trace changed: %d/%d vs %d/%d accesses/lines",
+				tile, profO.Accesses, profO.Compulsory, profT.Accesses, profT.Compulsory)
+		}
+		for _, lines := range []int64{4, 16, 64, 256} {
+			if mo, mt := profO.MissesForCapacity(lines), profT.MissesForCapacity(lines); mo != mt {
+				t.Fatalf("tile=%d: single-tile tiling changed the reuse profile at %d lines: %d vs %d",
+					tile, lines, mo, mt)
+			}
+		}
+	}
+}
+
 func mustCompile(t *testing.T, p *scop.Program, layout *scop.Layout) *scop.CompiledProgram {
 	t.Helper()
 	cp, err := scop.Compile(p, layout)
