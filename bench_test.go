@@ -17,6 +17,7 @@ import (
 	"haystack/internal/cachesim"
 	"haystack/internal/core"
 	"haystack/internal/explore"
+	"haystack/internal/polybench"
 	"haystack/internal/reusedist"
 	"haystack/internal/scop"
 	"haystack/internal/tiling"
@@ -316,6 +317,78 @@ func BenchmarkSweep_NaiveAnalyze(b *testing.B) {
 			analyzeOnce(b, prog, cfg, opts)
 		}
 	}
+}
+
+// BenchmarkTiledSymbolic_Gemm2D runs the full symbolic distance phase on the
+// PolyBench gemm kernel at SMALL size, rectangularly tiled with tile size 16
+// (the i/j band tiles; the k loop stays a point loop because the nest is
+// imperfect). This is the workload the coalescing layer of
+// internal/presburger exists for: without coalescing the basic-map unions
+// grow combinatorially through the E/N/B/F compositions and the distance
+// phase does not terminate in reasonable time (>35 minutes on the reference
+// box, versus seconds with coalescing). The benchmark reports the peak
+// basic-map count at the composition frontiers and the total coalescing
+// hits alongside ns/op, so both the outcome and the mechanism are tracked.
+func BenchmarkTiledSymbolic_Gemm2D(b *testing.B) {
+	if testing.Short() {
+		b.Skip("tiled symbolic distance phase takes tens of seconds per op")
+	}
+	k, ok := polybench.ByName("gemm")
+	if !ok {
+		b.Fatal("gemm kernel missing")
+	}
+	tiled, didTile := tiling.Tile(k.Build(polybench.Small), 16)
+	if !didTile {
+		b.Fatal("gemm should have a rectangular tiling")
+	}
+	opts := haystack.DefaultOptions()
+	opts.TraceFallback = false
+	opts.Parallelism = 1
+	var last *core.DistanceModel
+	for i := 0; i < b.N; i++ {
+		dm, err := core.ComputeDistances(tiled, 64, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = dm
+	}
+	b.StopTimer()
+	res, err := last.CountMisses(haystack.Config{LineSize: 64, CacheSizes: []int64{32 * 1024}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.Stats.PeakBasicMaps), "peak-basic-maps")
+	b.ReportMetric(float64(res.Stats.CoalesceDedup+res.Stats.CoalesceSubsumed+res.Stats.CoalesceAdjacent+res.Stats.CoalesceRedundantCons), "coalesce-hits")
+}
+
+// BenchmarkUntiledSymbolic_Gemm is the untiled baseline of
+// BenchmarkTiledSymbolic_Gemm2D: the same kernel and size without tiling.
+// The tiled/untiled ns/op ratio is the cost of the deeper nest, which
+// coalescing keeps within a small constant factor instead of letting it
+// diverge.
+func BenchmarkUntiledSymbolic_Gemm(b *testing.B) {
+	k, ok := polybench.ByName("gemm")
+	if !ok {
+		b.Fatal("gemm kernel missing")
+	}
+	prog := k.Build(polybench.Small)
+	opts := haystack.DefaultOptions()
+	opts.TraceFallback = false
+	opts.Parallelism = 1
+	var last *core.DistanceModel
+	for i := 0; i < b.N; i++ {
+		dm, err := core.ComputeDistances(prog, 64, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = dm
+	}
+	b.StopTimer()
+	res, err := last.CountMisses(haystack.Config{LineSize: 64, CacheSizes: []int64{32 * 1024}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.Stats.PeakBasicMaps), "peak-basic-maps")
 }
 
 // Substrate micro-benchmarks: the trace generator and the simulator, whose

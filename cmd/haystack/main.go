@@ -32,6 +32,7 @@ func main() {
 	noRasterization := flag.Bool("no-rasterization", false, "disable the rasterization floor elimination")
 	noPartial := flag.Bool("no-partial-enumeration", false, "disable partial enumeration of non-affine pieces")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the analysis (stack distances and capacity miss counting; 0 = all cores)")
+	stats := flag.Bool("stats", false, "print extended statistics (coalescing counters and basic-map counts of the distance phase)")
 	flag.Parse()
 
 	if *list {
@@ -90,5 +91,12 @@ func main() {
 		}
 		fmt.Printf("capacity counting workers: %d, total busy time %v\n",
 			res.Stats.CapacityWorkers, busy.Round(1e6))
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Printf("coalescing: peak %d basic maps at the composition frontiers (%d entering -> %d leaving)\n",
+			s.PeakBasicMaps, s.BasicMapsBeforeCoalesce, s.BasicMapsAfterCoalesce)
+		fmt.Printf("coalescing hits: %d dedup, %d subsumed, %d adjacent/extension merges, %d redundant constraints dropped\n",
+			s.CoalesceDedup, s.CoalesceSubsumed, s.CoalesceAdjacent, s.CoalesceRedundantCons)
 	}
 }

@@ -3,16 +3,20 @@
 // and uses the cache model to pick the tile size with the fewest predicted
 // L1 misses — without ever running the kernel on hardware.
 //
-// The untiled baseline goes through the symbolic pipeline
-// (haystack.ComputeDistances); the tiled variants use the exact
-// trace-profile model (haystack.ComputeDistancesByProfiling), because the
-// deep loop nests tiling produces are very expensive to analyze
-// symbolically while the profile is exact and fast at this problem size.
-// Either way, each variant's distance model is built once and could be
-// reused across any number of cache hierarchies (see examples/hierarchy).
+// All variants go through the symbolic pipeline (haystack.ComputeDistances)
+// by default: the coalescing layer of the Presburger engine keeps the
+// basic-map unions of the five-deep tiled nests small, so the symbolic,
+// problem-size-independent analysis finishes in seconds. Pass
+// -strategy profile to build the tiled models from an exact trace profile
+// instead (haystack.ComputeDistancesByProfiling) — equally exact, with cost
+// proportional to the trace length; useful as a cross-check or for programs
+// outside the symbolic fragment. Either way, each variant's distance model
+// is built once and could be reused across any number of cache hierarchies
+// (see examples/hierarchy).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -53,24 +57,27 @@ func tiledGemm(n, t int64) *haystack.Program {
 }
 
 func main() {
-	const n = 64
+	strategy := flag.String("strategy", "symbolic",
+		"model for tiled variants: 'symbolic' (default; problem-size-independent) or 'profile' (exact trace profile)")
+	flag.Parse()
+	if *strategy != "symbolic" && *strategy != "profile" {
+		log.Fatalf("unknown -strategy %q (want symbolic or profile)", *strategy)
+	}
+
+	const n = 32
 	cfg := haystack.Config{LineSize: 64, CacheSizes: []int64{8 * 1024}}
 
 	fmt.Printf("gemm %dx%dx%d, 8 KiB fully associative L1\n\n", n, n, n)
 	fmt.Printf("%8s  %12s  %12s  %10s\n", "tile", "accesses", "L1 misses", "miss ratio")
 	bestTile, bestMisses := int64(0), int64(-1)
-	for _, t := range []int64{8, 16, 32, 64} {
+	for _, t := range []int64{4, 8, 16, 32} {
 		prog := tiledGemm(n, t)
 		var dm *haystack.DistanceModel
 		var err error
-		if t >= n {
-			// The untiled baseline is a shallow affine nest: the symbolic,
-			// problem-size-independent pipeline is the right tool.
-			dm, err = haystack.ComputeDistances(prog, cfg.LineSize, haystack.DefaultOptions())
-		} else {
-			// Tiled variants are five-deep nests with floor-heavy previous
-			// access relations: the exact trace profile is far cheaper.
+		if *strategy == "profile" && t < n {
 			dm, err = haystack.ComputeDistancesByProfiling(prog, cfg.LineSize)
+		} else {
+			dm, err = haystack.ComputeDistances(prog, cfg.LineSize, haystack.DefaultOptions())
 		}
 		if err != nil {
 			log.Fatalf("tile %d: %v", t, err)

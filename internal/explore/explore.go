@@ -62,8 +62,9 @@ type TiledAnalysis int
 const (
 	// TiledSymbolic runs the full symbolic pipeline on tiled variants, like
 	// on untiled ones. Every result is bit-identical to a standalone
-	// core.Analyze call — but tiling doubles the loop depth, and deep nests
-	// can be very expensive to analyze symbolically.
+	// core.Analyze call. Tiling doubles the loop depth, but the coalescing
+	// layer of internal/presburger keeps the deeper compositions tractable,
+	// so this problem-size-independent strategy is the default.
 	TiledSymbolic TiledAnalysis = iota
 	// TiledProfile builds the models of tiled variants from an exact stack
 	// distance profile of the trace (core.ComputeDistancesByProfiling).

@@ -53,7 +53,10 @@ func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
 		if len(pieces) == 0 {
 			continue
 		}
-		candidate := presburger.MapFromBasics(pieces...)
+		candidate := presburger.MapFromBasics(pieces...).CoalesceQuick()
+		if len(candidate.Basics()) == 0 {
+			continue
+		}
 		if first {
 			result = candidate
 			first = false
@@ -292,17 +295,17 @@ func combineMin(f, g presburger.Map) (presburger.Map, error) {
 	return pruneEmpty(result), nil
 }
 
+// pruneEmpty coalesces the union (the subtraction-heavy combination above is
+// the worst basic-map amplifier of the whole pipeline; the syntactic rules
+// fold its slabs back together) and drops basic maps that are detectably
+// empty.
 func pruneEmpty(m presburger.Map) presburger.Map {
 	var keep []presburger.BasicMap
-	for _, bm := range m.Basics() {
-		simplified, ok := bm.Simplify()
-		if !ok {
+	for _, bm := range m.Coalesce().Basics() {
+		if bm.DefinitelyEmpty() {
 			continue
 		}
-		if simplified.DefinitelyEmpty() {
-			continue
-		}
-		keep = append(keep, simplified)
+		keep = append(keep, bm)
 	}
 	if len(keep) == 0 {
 		return presburger.EmptyMap(m.InSpace(), m.OutSpace())

@@ -3,7 +3,6 @@ package presburger
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 
 	"haystack/internal/ints"
@@ -262,12 +261,30 @@ func (b *basic) substituteDivColumn(col int, expr Vec) {
 }
 
 // simplify performs cheap normalization: constraint normalization, removal
-// of duplicate and trivially satisfied constraints, div normalization, and
-// detection of a trivially false constant constraint. It returns false if
-// the basic set/map is detected to be empty.
+// of duplicate, dominated, and trivially satisfied constraints, div
+// normalization, and detection of a trivially false constant constraint.
+// Constraints are deduplicated by FNV hash of their coefficient vector
+// (verified structurally, so collisions cannot merge distinct constraints);
+// parallel inequalities keep only the tightest constant, and inequalities
+// pinned by a parallel equality are dropped (or detected infeasible). It
+// returns false if the basic set/map is detected to be empty.
 func (b *basic) simplify() bool {
 	b.normalizeDivs()
-	seen := make(map[string]bool)
+	// eqByCoeff and ineqByCoeff index the constraints kept so far (by
+	// position in out) under the hash of their non-constant coefficients.
+	var eqByCoeff, ineqByCoeff map[uint64][]int
+	lookup := func(m map[uint64][]int, h uint64) []int {
+		if m == nil {
+			return nil
+		}
+		return m[h]
+	}
+	insert := func(m *map[uint64][]int, h uint64, idx int) {
+		if *m == nil {
+			*m = make(map[uint64][]int, len(b.cons))
+		}
+		(*m)[h] = append((*m)[h], idx)
+	}
 	out := b.cons[:0]
 	for _, c := range b.cons {
 		c = normalizeConstraint(c)
@@ -288,15 +305,165 @@ func (b *basic) simplify() bool {
 			}
 			continue
 		}
-		key := constraintKey(c)
-		if seen[key] {
+		h := coeffHash(c.C, false)
+		// The negated-coefficient hash is only needed to compare against
+		// stored equalities; computing it lazily keeps the common
+		// inequality-only path at one hash per constraint.
+		nh := uint64(0)
+		haveNH := false
+		negHash := func() uint64 {
+			if !haveNH {
+				nh = coeffHash(c.C, true)
+				haveNH = true
+			}
+			return nh
+		}
+		if c.Eq {
+			dup := false
+			for _, idx := range lookup(eqByCoeff, h) {
+				if coeffsMatch(out[idx].C, c.C, false) {
+					// Parallel equalities: identical or contradictory.
+					if out[idx].C[0] != c.C[0] {
+						return false
+					}
+					dup = true
+					break
+				}
+			}
+			if !dup && eqByCoeff != nil {
+				for _, idx := range lookup(eqByCoeff, negHash()) {
+					if coeffsMatch(out[idx].C, c.C, true) {
+						// f+k0 == 0 stored and -f+k == 0 incoming: equal
+						// exactly when k == -k0.
+						if out[idx].C[0] != -c.C[0] {
+							return false
+						}
+						dup = true
+						break
+					}
+				}
+			}
+			if dup {
+				continue
+			}
+			out = append(out, c)
+			insert(&eqByCoeff, h, len(out)-1)
 			continue
 		}
-		seen[key] = true
+		// Inequality f + k >= 0: an equality on f (either sign) pins it.
+		pinned := false
+		for _, idx := range lookup(eqByCoeff, h) {
+			if coeffsMatch(out[idx].C, c.C, false) {
+				// f == -k0, so f + k >= 0 iff k >= k0.
+				if c.C[0] < out[idx].C[0] {
+					return false
+				}
+				pinned = true
+				break
+			}
+		}
+		if !pinned && eqByCoeff != nil {
+			for _, idx := range lookup(eqByCoeff, negHash()) {
+				if coeffsMatch(out[idx].C, c.C, true) {
+					// -f + k0 == 0, so f == k0 and f + k >= 0 iff k0 + k >= 0.
+					if c.C[0]+out[idx].C[0] < 0 {
+						return false
+					}
+					pinned = true
+					break
+				}
+			}
+		}
+		if pinned {
+			continue
+		}
+		// Opposite parallel inequality: f+k >= 0 against -f+k0 >= 0 bounds
+		// f to [-k, k0]. An empty interval is infeasible; a singleton turns
+		// the stored constraint into an equality (canonicalizing the
+		// two-inequality encoding of a hyperplane, which the coalescer's
+		// adjacency rules rely on).
+		closed := false
+		if ineqByCoeff != nil {
+			for pos, idx := range lookup(ineqByCoeff, negHash()) {
+				if coeffsMatch(out[idx].C, c.C, true) {
+					if c.C[0]+out[idx].C[0] < 0 {
+						return false
+					}
+					if c.C[0]+out[idx].C[0] == 0 {
+						out[idx].Eq = true
+						lst := ineqByCoeff[nh]
+						ineqByCoeff[nh] = append(lst[:pos], lst[pos+1:]...)
+						insert(&eqByCoeff, nh, idx)
+						closed = true
+					}
+					break
+				}
+			}
+		}
+		if closed {
+			continue
+		}
+		// Parallel inequalities: keep the tighter (smaller) constant.
+		dominated := false
+		for _, idx := range lookup(ineqByCoeff, h) {
+			if coeffsMatch(out[idx].C, c.C, false) {
+				if c.C[0] < out[idx].C[0] {
+					out[idx].C[0] = c.C[0]
+				}
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
 		out = append(out, c)
+		insert(&ineqByCoeff, h, len(out)-1)
 	}
 	b.cons = out
 	return !b.hasConflictingBounds()
+}
+
+// coeffHash hashes the non-constant coefficients of a constraint vector
+// (optionally negated), ignoring trailing zero columns.
+func coeffHash(v Vec, neg bool) uint64 {
+	vv := v[1:]
+	for len(vv) > 0 && vv[len(vv)-1] == 0 {
+		vv = vv[:len(vv)-1]
+	}
+	h := uint64(fnvOffset)
+	for _, x := range vv {
+		if neg {
+			x = -x
+		}
+		h = fnvMix(h, uint64(x))
+	}
+	return h
+}
+
+// coeffsMatch compares the non-constant coefficients of two constraint
+// vectors (b optionally negated), ignoring trailing zero columns.
+func coeffsMatch(a, b Vec, neg bool) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 1; i < n; i++ {
+		var x, y int64
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		if neg {
+			y = -y
+		}
+		if x != y {
+			return false
+		}
+	}
+	return true
 }
 
 // hasConflictingBounds detects single-variable contradictions such as
@@ -354,25 +521,6 @@ func (b *basic) hasConflictingBounds() bool {
 		}
 	}
 	return false
-}
-
-func constraintKey(c Constraint) string {
-	buf := make([]byte, 0, 8*len(c.C)+1)
-	if c.Eq {
-		buf = append(buf, '=')
-	} else {
-		buf = append(buf, '>')
-	}
-	// Trailing zeros are not significant (vectors may be padded).
-	cc := c.C
-	for len(cc) > 0 && cc[len(cc)-1] == 0 {
-		cc = cc[:len(cc)-1]
-	}
-	for _, x := range cc {
-		buf = append(buf, ',')
-		buf = strconv.AppendInt(buf, x, 10)
-	}
-	return string(buf)
 }
 
 // embed copies the divs and constraints of src into b, mapping src dimension

@@ -1,0 +1,41 @@
+package presburger
+
+import (
+	"testing"
+)
+
+// benchmarkBasic builds a basic set shaped like the constraint systems the
+// pipeline's composition frontiers produce: many constraints over a dozen
+// columns, with duplicates and parallel (dominated) pairs mixed in.
+func benchmarkBasic(ncons int) *basic {
+	bb := newBasic(12)
+	b := &bb
+	for i := 0; i < ncons; i++ {
+		c := Constraint{C: NewVec(b.ncols())}
+		c.C[0] = int64(i % 7)
+		for j := 1; j < b.ncols(); j++ {
+			c.C[j] = int64((i*j)%5 - 2)
+		}
+		if i%3 == 0 {
+			// Repeat an earlier constraint exactly (the duplicate case).
+			c.C[0] = 0
+		}
+		b.cons = append(b.cons, c)
+	}
+	return b
+}
+
+// BenchmarkSimplifyDedup measures the constraint dedup hot path of
+// basic.simplify, which runs at every composition frontier of the model
+// (previously keyed on per-constraint strings; now on FNV hashes with
+// structural verification).
+func BenchmarkSimplifyDedup(b *testing.B) {
+	proto := benchmarkBasic(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cl := proto.clone()
+		if !cl.simplify() {
+			b.Fatal("benchmark basic should stay feasible")
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package presburger
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// cineq builds an inequality constraint from the given columns.
+func cineq(cols ...int64) Constraint { return Constraint{C: Vec(cols)} }
+
+// ceq builds an equality constraint from the given columns.
+func ceq(cols ...int64) Constraint { return Constraint{C: Vec(cols), Eq: true} }
+
+func setFromCons(sp Space, conss ...[]Constraint) Set {
+	out := EmptySet(sp)
+	for _, cons := range conss {
+		out = out.Union(SetFromBasic(NewBasicSet(sp, nil, cons)))
+	}
+	return out
+}
+
+// pointsOf enumerates the set's points over a bounding box and returns them
+// keyed by their string form. Membership is checked by direct evaluation
+// (Contains), so the result does not depend on any of the machinery
+// coalescing uses.
+func pointsOf(s Set, lo, hi int64) map[string]bool {
+	out := map[string]bool{}
+	n := s.Space().Dim()
+	point := make([]int64, n)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == n {
+			if s.Contains(point) {
+				out[fmt.Sprint(point)] = true
+			}
+			return
+		}
+		for v := lo; v <= hi; v++ {
+			point[d] = v
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+func assertSamePoints(t *testing.T, before, after Set, lo, hi int64) {
+	t.Helper()
+	pb := pointsOf(before, lo, hi)
+	pa := pointsOf(after, lo, hi)
+	for p := range pb {
+		if !pa[p] {
+			t.Fatalf("point %s lost by coalescing\nbefore: %s\nafter:  %s", p, before, after)
+		}
+	}
+	for p := range pa {
+		if !pb[p] {
+			t.Fatalf("point %s gained by coalescing\nbefore: %s\nafter:  %s", p, before, after)
+		}
+	}
+}
+
+func TestCoalesceDedup(t *testing.T) {
+	sp := NewSpace("S", "x")
+	// Identical basics (one with permuted constraints) collapse to one.
+	s := setFromCons(sp,
+		[]Constraint{cineq(0, 1), cineq(9, -1)},
+		[]Constraint{cineq(9, -1), cineq(0, 1)},
+	)
+	c := s.Coalesce()
+	if len(c.Basics()) != 1 {
+		t.Fatalf("dedup failed: %d basics", len(c.Basics()))
+	}
+	assertSamePoints(t, s, c, -3, 12)
+}
+
+func TestCoalesceSubsumption(t *testing.T) {
+	sp := NewSpace("S", "x")
+	// [2,5] is inside [0,10]; the constraint-superset rule drops it.
+	s := setFromCons(sp,
+		[]Constraint{cineq(0, 1), cineq(10, -1), cineq(-2, 1), cineq(5, -1)},
+		[]Constraint{cineq(0, 1), cineq(10, -1)},
+	)
+	c := s.Coalesce()
+	if len(c.Basics()) != 1 {
+		t.Fatalf("subsumption failed: %d basics: %s", len(c.Basics()), c)
+	}
+	assertSamePoints(t, s, c, -3, 13)
+}
+
+func TestCoalesceAdjacentCut(t *testing.T) {
+	sp := NewSpace("S", "x", "y")
+	// Same rectangle split by x <= 4 | x >= 5 merges back.
+	shared := []Constraint{cineq(0, 0, 1), cineq(7, 0, -1), cineq(0, 1, 0), cineq(9, -1, 0)}
+	left := append(append([]Constraint(nil), shared...), cineq(4, -1, 0))
+	right := append(append([]Constraint(nil), shared...), cineq(-5, 1, 0))
+	s := setFromCons(sp, left, right)
+	c := s.Coalesce()
+	if len(c.Basics()) != 1 {
+		t.Fatalf("adjacent cut merge failed: %d basics: %s", len(c.Basics()), c)
+	}
+	assertSamePoints(t, s, c, -2, 11)
+}
+
+func TestCoalesceEqAdjacent(t *testing.T) {
+	sp := NewSpace("S", "x")
+	// {x == 0} next to {1 <= x <= 7} merges to {0 <= x <= 7}.
+	s := setFromCons(sp,
+		[]Constraint{ceq(0, 1)},
+		[]Constraint{cineq(-1, 1), cineq(7, -1)},
+	)
+	c := s.Coalesce()
+	if len(c.Basics()) != 1 {
+		t.Fatalf("eq-adjacent merge failed: %d basics: %s", len(c.Basics()), c)
+	}
+	assertSamePoints(t, s, c, -3, 10)
+}
+
+func TestCoalesceExtensionMerge(t *testing.T) {
+	sp := NewSpace("S", "x", "d")
+	// The d == x hyperplane slab (with bounds implied by the equality)
+	// next to the d <= x-1 wedge: merges to d <= x.
+	slab := []Constraint{ceq(0, -1, 1), cineq(0, 1, 0), cineq(9, -1, 0)}
+	wedge := []Constraint{cineq(-1, 1, -1), cineq(0, 0, 1), cineq(0, 1, 0), cineq(9, -1, 0)}
+	s := setFromCons(sp, slab, wedge)
+	c := s.Coalesce()
+	if len(c.Basics()) != 1 {
+		t.Fatalf("extension merge failed: %d basics: %s", len(c.Basics()), c)
+	}
+	assertSamePoints(t, s, c, -2, 11)
+}
+
+func TestCoalesceThreeWaySplit(t *testing.T) {
+	sp := NewSpace("S", "x", "d")
+	// d < x, d == x, d > x over a box: the union is the whole box and
+	// should coalesce to a single basic set (extension then cut).
+	box := []Constraint{cineq(0, 1, 0), cineq(9, -1, 0), cineq(0, 0, 1), cineq(9, 0, -1)}
+	below := append(append([]Constraint(nil), box...), cineq(-1, 1, -1))
+	on := append(append([]Constraint(nil), box...), ceq(0, -1, 1))
+	above := append(append([]Constraint(nil), box...), cineq(-1, -1, 1))
+	s := setFromCons(sp, below, on, above)
+	c := s.Coalesce()
+	if len(c.Basics()) != 1 {
+		t.Fatalf("three-way split did not collapse: %d basics: %s", len(c.Basics()), c)
+	}
+	assertSamePoints(t, s, c, -2, 11)
+}
+
+func TestCoalesceRedundancyElimination(t *testing.T) {
+	sp := NewSpace("S", "x", "y")
+	// x >= 2 makes x >= 0 redundant; x+y >= 1 is implied by x >= 2, y >= 0.
+	bs := NewBasicSet(sp, nil, []Constraint{
+		cineq(-2, 1, 0), cineq(0, 1, 0), cineq(0, 0, 1), cineq(-1, 1, 1), cineq(9, -1, 0), cineq(9, 0, -1),
+	})
+	c := SetFromBasic(bs).Coalesce()
+	if len(c.Basics()) != 1 {
+		t.Fatalf("unexpected basics: %d", len(c.Basics()))
+	}
+	if got := len(c.Basics()[0].Constraints()); got != 4 {
+		t.Fatalf("redundant constraints kept: %d constraints in %s", got, c)
+	}
+	assertSamePoints(t, SetFromBasic(bs), c, -2, 11)
+}
+
+func TestSimplifyOppositePairBecomesEquality(t *testing.T) {
+	sp := NewSpace("S", "x", "y")
+	// x - y >= 0 and y - x >= 0 pin x == y.
+	bs := NewBasicSet(sp, nil, []Constraint{cineq(0, 1, -1), cineq(0, -1, 1), cineq(0, 1, 0), cineq(5, -1, 0)})
+	sim, ok := bs.Simplify()
+	if !ok {
+		t.Fatal("set is non-empty")
+	}
+	foundEq := false
+	for _, c := range sim.Constraints() {
+		if c.Eq {
+			foundEq = true
+		}
+	}
+	if !foundEq {
+		t.Fatalf("opposite inequalities not canonicalized to an equality: %s", sim)
+	}
+	// And an infeasible pair is detected.
+	bad := NewBasicSet(sp, nil, []Constraint{cineq(-1, 1, -1), cineq(0, -1, 1)})
+	if _, ok := bad.Simplify(); ok {
+		t.Fatal("x-y>=1 with y>=x should be empty")
+	}
+}
+
+// TestCoalesceRandomSets fuzzes the full rule stack: random unions of boxes,
+// wedges, hyperplanes, and div-constrained basics are coalesced and the
+// result compared point by point over a bounding box (membership by direct
+// evaluation, independent of the coalescing machinery).
+func TestCoalesceRandomSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sp := NewSpace("S", "x", "y")
+	const rounds = 300
+	for round := 0; round < rounds; round++ {
+		nb := 1 + rng.Intn(4)
+		s := EmptySet(sp)
+		for i := 0; i < nb; i++ {
+			var cons []Constraint
+			// A bounding box, sometimes degenerate.
+			x0, y0 := int64(rng.Intn(7)-2), int64(rng.Intn(7)-2)
+			w, h := int64(rng.Intn(6)), int64(rng.Intn(6))
+			cons = append(cons,
+				cineq(-x0, 1, 0), cineq(x0+w, -1, 0),
+				cineq(-y0, 0, 1), cineq(y0+h, 0, -1))
+			// Occasionally a diagonal cut or an equality.
+			switch rng.Intn(4) {
+			case 0:
+				cons = append(cons, cineq(int64(rng.Intn(3)-1), 1, -1))
+			case 1:
+				cons = append(cons, ceq(int64(rng.Intn(3)-1), 1, -1))
+			}
+			bs := NewBasicSet(sp, nil, cons)
+			if rng.Intn(3) == 0 {
+				// Add a div constraint: x == 2*floor(x/2) (even x).
+				var col int
+				bs, col = bs.AddDiv(Vec{0, 1, 0}, 2)
+				cc := NewVec(bs.NCols())
+				cc[1] = 1
+				cc[col] = -2
+				bs = bs.AddConstraint(Constraint{C: cc, Eq: true})
+			}
+			s = s.Union(SetFromBasic(bs))
+		}
+		c := s.Coalesce()
+		if len(c.Basics()) > len(s.Basics()) {
+			t.Fatalf("round %d: coalescing grew the union: %d -> %d", round, len(s.Basics()), len(c.Basics()))
+		}
+		assertSamePoints(t, s, c, -4, 9)
+	}
+}
+
+// TestCoalesceRandomSubtract checks the double-subtraction identity on
+// random set pairs: (a \ b) ∪ (a ∩ b) must equal a, and the coalesced
+// forms of both sides must agree point by point.
+func TestCoalesceRandomSubtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sp := NewSpace("S", "x", "y")
+	mkbox := func() Set {
+		x0, y0 := int64(rng.Intn(7)-2), int64(rng.Intn(7)-2)
+		w, h := int64(rng.Intn(7)), int64(rng.Intn(7))
+		return SetFromBasic(NewBasicSet(sp, nil, []Constraint{
+			cineq(-x0, 1, 0), cineq(x0+w, -1, 0),
+			cineq(-y0, 0, 1), cineq(y0+h, 0, -1),
+		}))
+	}
+	for round := 0; round < 200; round++ {
+		a := mkbox().Union(mkbox())
+		b := mkbox()
+		rebuilt := a.Subtract(b).Union(a.Intersect(b)).Coalesce()
+		assertSamePoints(t, a, rebuilt, -4, 10)
+		// Double subtraction: both differences of a and its coalesced form
+		// must be empty.
+		ac := a.Coalesce()
+		if d := a.Subtract(ac); !d.DefinitelyEmpty() && len(pointsOf(d, -4, 10)) > 0 {
+			t.Fatalf("round %d: a \\ coalesce(a) non-empty: %s", round, d)
+		}
+		if d := ac.Subtract(a); !d.DefinitelyEmpty() && len(pointsOf(d, -4, 10)) > 0 {
+			t.Fatalf("round %d: coalesce(a) \\ a non-empty: %s", round, d)
+		}
+	}
+}
+
+// TestCoalesceRandomSlabFamilies fuzzes the verified merge rules with the
+// shapes the tiled pipeline produces: three dimensions, a shared div, slab
+// decompositions around hyperplanes (d < x, d == x, d > x), and basics
+// whose implied bounds have been partially dropped. Membership is compared
+// point by point, independent of the coalescing machinery.
+func TestCoalesceRandomSlabFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sp := NewSpace("S", "x", "y", "d")
+	const rounds = 200
+	for round := 0; round < rounds; round++ {
+		nb := 2 + rng.Intn(3)
+		s := EmptySet(sp)
+		for i := 0; i < nb; i++ {
+			var cons []Constraint
+			// Random subset of box bounds (some implied bounds missing, as
+			// after redundancy elimination).
+			if rng.Intn(4) != 0 {
+				cons = append(cons, cineq(0, 1, 0, 0))
+			}
+			if rng.Intn(4) != 0 {
+				cons = append(cons, cineq(7, -1, 0, 0))
+			}
+			cons = append(cons, cineq(0, 0, 1, 0), cineq(6, 0, -1, 0))
+			if rng.Intn(4) != 0 {
+				cons = append(cons, cineq(0, 0, 0, 1))
+			}
+			if rng.Intn(4) != 0 {
+				cons = append(cons, cineq(7, 0, 0, -1))
+			}
+			// A slab relation between d and x: below, on, or above, with a
+			// random offset.
+			off := int64(rng.Intn(3) - 1)
+			switch rng.Intn(4) {
+			case 0:
+				cons = append(cons, cineq(-1+off, 1, 0, -1)) // d <= x+off-1
+			case 1:
+				cons = append(cons, ceq(off, -1, 0, 1)) // d == x-off
+			case 2:
+				cons = append(cons, cineq(-1-off, -1, 0, 1)) // d >= x+off+1
+			}
+			bs := NewBasicSet(sp, nil, cons)
+			if rng.Intn(3) == 0 {
+				// Tile slab via a div: y in [2t, 2t+1] for t = floor(y/2),
+				// possibly pinned to the lower lane (y == 2t).
+				var col int
+				bs, col = bs.AddDiv(Vec{0, 0, 1, 0}, 2)
+				cc := NewVec(bs.NCols())
+				cc[2] = 1
+				cc[col] = -2
+				if rng.Intn(2) == 0 {
+					bs = bs.AddConstraint(Constraint{C: cc, Eq: true})
+				} else {
+					cc[0] = -1
+					bs = bs.AddConstraint(Constraint{C: cc}) // y >= 2t+1
+				}
+			}
+			s = s.Union(SetFromBasic(bs))
+		}
+		c := s.Coalesce()
+		assertSamePoints(t, s, c, -3, 8)
+		// Subtract a random box and re-check (exercises the coalescing
+		// wired inside Subtract).
+		x0 := int64(rng.Intn(5) - 1)
+		cut := SetFromBasic(NewBasicSet(sp, nil, []Constraint{
+			cineq(-x0, 1, 0, 0), cineq(x0+2, -1, 0, 0), cineq(5, 0, -1, 0),
+		}))
+		diff := s.Subtract(cut)
+		pd := pointsOf(diff, -3, 8)
+		ps := pointsOf(s, -3, 8)
+		pc := pointsOf(cut, -3, 8)
+		for p := range ps {
+			if !pc[p] && !pd[p] {
+				t.Fatalf("round %d: point %s lost by subtract", round, p)
+			}
+		}
+		for p := range pd {
+			if !ps[p] || pc[p] {
+				t.Fatalf("round %d: point %s wrong in subtract result", round, p)
+			}
+		}
+	}
+}
+
+// TestProjectOutAlignedDivEquality guards against the circular-div trap: a
+// set carrying the aligned-bound equality k == 8*floor(k/8) must not let
+// ProjectOut(k) substitute k into floor(k/8)'s own numerator (the resulting
+// self-referential div silently evaluates wrong). The projection may refuse
+// (ErrUnsupported) but must never return a wrong set.
+func TestProjectOutAlignedDivEquality(t *testing.T) {
+	sp := NewSpace("S", "jt", "k")
+	bs := UniverseBasicSet(sp)
+	var e0 int
+	bs, e0 = bs.AddDiv(Vec{0, 0, 1}, 8) // e0 = floor(k/8)
+	cc := NewVec(bs.NCols())
+	cc[2] = 1
+	cc[e0] = -8
+	bs = bs.AddConstraint(Constraint{C: cc, Eq: true}) // k == 8*e0
+	lo := NewVec(bs.NCols())
+	lo[0] = -8
+	lo[2] = 1
+	bs = bs.AddConstraint(Constraint{C: lo}) // k >= 8
+	hi := NewVec(bs.NCols())
+	hi[0] = 24
+	hi[2] = -1
+	bs = bs.AddConstraint(Constraint{C: hi})            // k <= 24
+	bs = bs.AddConstraint(Constraint{C: Vec{0, 1, 0}})  // jt >= 0
+	bs = bs.AddConstraint(Constraint{C: Vec{3, -1, 0}}) // jt <= 3
+
+	want := map[string]bool{}
+	if err := bs.Scan(func(p []int64) error {
+		want[fmt.Sprint(p[0])] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 4 {
+		t.Fatalf("setup wrong: expected jt in [0,3], got %v", want)
+	}
+	proj, err := bs.ProjectOut(1, 1)
+	if err != nil {
+		t.Skipf("projection refused (acceptable): %v", err)
+	}
+	got := map[string]bool{}
+	if err := proj.Scan(func(p []int64) error {
+		got[fmt.Sprint(p[0])] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("projection lost jt=%s: %s", k, proj)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Fatalf("projection gained jt=%s: %s", k, proj)
+		}
+	}
+}

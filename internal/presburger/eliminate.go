@@ -78,7 +78,8 @@ func (b *basic) clearColumn(col int) {
 }
 
 // tryEqualitySubstitution looks for an equality that determines col with a
-// unit coefficient and substitutes it.
+// unit coefficient and substitutes it. Equalities whose substitution would
+// corrupt a div definition (see substitutionBreaksDivs) are skipped.
 func (b *basic) tryEqualitySubstitution(col int) bool {
 	for i, c := range b.cons {
 		if !c.Eq || c.C[col] == 0 {
@@ -96,6 +97,9 @@ func (b *basic) tryEqualitySubstitution(col int) bool {
 			}
 			expr[j] = -a * c.C[j]
 		}
+		if b.substitutionBreaksDivs(col, expr) {
+			continue
+		}
 		// Remove the defining constraint, substitute elsewhere.
 		b.cons = append(b.cons[:i], b.cons[i+1:]...)
 		b.substituteColumn(col, expr, 1)
@@ -104,10 +108,42 @@ func (b *basic) tryEqualitySubstitution(col int) bool {
 	return false
 }
 
+// substitutionBreaksDivs reports whether substituting col by expr would make
+// a div numerator reference the div itself or a later div: a div numerator
+// may only use columns defined before it, so an expression carrying a div
+// column d can be substituted only into divs defined after d. The equality
+// k == 8*floor(k/8) (an aligned loop bound) is the canonical trap —
+// substituting k into floor(k/8)'s own numerator makes the definition
+// circular and silently evaluates wrong.
+func (b *basic) substitutionBreaksDivs(col int, expr Vec) bool {
+	maxDivCol := -1
+	for j := 1 + b.ndim; j < len(expr); j++ {
+		if expr[j] != 0 && j > maxDivCol {
+			maxDivCol = j
+		}
+	}
+	if maxDivCol < 0 {
+		return false
+	}
+	for i := range b.divs {
+		num := b.divs[i].Num.Resized(b.ncols())
+		if num[col] != 0 && b.divCol(i) <= maxDivCol {
+			return true
+		}
+	}
+	return false
+}
+
 // tryDivisibilityEquality handles c*x == e with |c| > 1 by introducing the
 // div d = floor(e/c), the divisibility constraint e == c*d, and substituting
 // x := d.
 func (b *basic) tryDivisibilityEquality(col int) bool {
+	if b.divUsesColumn(col) {
+		// The substitution below replaces col by a freshly added div, which
+		// existing div numerators referencing col must not point at (their
+		// definitions may only use earlier columns).
+		return false
+	}
 	for i, c := range b.cons {
 		if !c.Eq || c.C[col] == 0 {
 			continue
@@ -148,6 +184,11 @@ func (b *basic) tryDivisibilityEquality(col int) bool {
 func (b *basic) tryFloorSubstitution(col int) bool {
 	if b.tryDivisibilityEquality(col) {
 		return true
+	}
+	if b.divUsesColumn(col) {
+		// Same restriction as in tryDivisibilityEquality: the pattern below
+		// substitutes col by a new (last) div column.
+		return false
 	}
 	// Look for matching upper/lower pairs.
 	for i, up := range b.cons {

@@ -324,7 +324,7 @@ func (m Map) Intersect(o Map) Map {
 			}
 		}
 	}
-	return out
+	return out.coalesce(false)
 }
 
 // Reverse swaps inputs and outputs.
@@ -347,7 +347,7 @@ func (m Map) IntersectDomain(s Set) Map {
 			}
 		}
 	}
-	return out
+	return out.coalesce(false)
 }
 
 // IntersectRange restricts the relation to outputs in the given set.
@@ -361,7 +361,7 @@ func (m Map) IntersectRange(s Set) Map {
 			}
 		}
 	}
-	return out
+	return out.coalesce(false)
 }
 
 // Domain projects the relation onto its input space.
@@ -395,7 +395,8 @@ func (m Map) Range() (Set, error) {
 }
 
 // ApplyRange composes m with o (o ∘ m): x relates to z when m relates x to
-// some y and o relates y to z.
+// some y and o relates y to z. The pairwise composition multiplies the
+// basic-map counts, so the result is coalesced before it is returned.
 func (m Map) ApplyRange(o Map) (Map, error) {
 	out := Map{in: m.in, out: o.out}
 	for _, a := range m.basics {
@@ -409,7 +410,7 @@ func (m Map) ApplyRange(o Map) (Map, error) {
 			}
 		}
 	}
-	return out, nil
+	return out.coalesce(false), nil
 }
 
 // Contains reports whether the concatenated point satisfies the relation.

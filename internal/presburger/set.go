@@ -191,7 +191,7 @@ func (s Set) Intersect(o Set) Set {
 			}
 		}
 	}
-	return out
+	return out.coalesce(false)
 }
 
 // AddConstraintAll adds a constraint to every basic set of s. The constraint

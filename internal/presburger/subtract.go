@@ -101,7 +101,11 @@ func (bs BasicSet) Subtract(o BasicSet) Set {
 	return out
 }
 
-// Subtract returns the set difference s \ o.
+// Subtract returns the set difference s \ o. The accumulating union is
+// coalesced after every subtrahend: subtraction is the worst basic-count
+// amplifier of the pipeline (each step can multiply the piece count by the
+// subtrahend's constraint count), and the slabs it produces are exactly the
+// adjacent/subsumed shapes the coalescer folds back together.
 func (s Set) Subtract(o Set) Set {
 	if !s.space.Equal(o.space) {
 		panic("presburger: subtract space mismatch")
@@ -119,7 +123,7 @@ func (s Set) Subtract(o Set) Set {
 			}
 			next = next.Union(ab.Subtract(ob))
 		}
-		cur = next
+		cur = next.coalesce(false)
 	}
 	return cur
 }
@@ -152,7 +156,7 @@ func (m Map) Subtract(o Map) Map {
 			}
 			next = next.Union(ab.Subtract(ob))
 		}
-		cur = next
+		cur = next.coalesce(false)
 	}
 	return cur
 }
