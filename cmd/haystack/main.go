@@ -6,6 +6,12 @@
 // Usage:
 //
 //	haystack -kernel gemm -size MEDIUM -line 64 -caches 32768,1048576
+//
+// With -params the kernel is analyzed parametrically (one symbolic analysis
+// for all problem sizes, core.ComputeParametricModel) and evaluated at the
+// given parameter values:
+//
+//	haystack -kernel gemm -params NI=1000,NJ=1100,NK=1200
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 func main() {
 	kernel := flag.String("kernel", "gemm", "PolyBench kernel name (see -list)")
 	size := flag.String("size", "MEDIUM", "problem size: MINI, SMALL, MEDIUM, LARGE, EXTRALARGE")
+	params := flag.String("params", "", "comma separated parameter bindings (e.g. NI=1000,NJ=1100,NK=1200); selects the parametric model, ignoring -size")
 	line := flag.Int64("line", 64, "cache line size in bytes")
 	caches := flag.String("caches", "32768,1048576", "comma separated cache capacities in bytes")
 	list := flag.Bool("list", false, "list available kernels and exit")
@@ -36,18 +43,18 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		parametric := map[string]bool{}
+		for _, name := range polybench.ParametricNames() {
+			parametric[name] = true
+		}
 		for _, k := range polybench.Kernels() {
-			fmt.Printf("%-16s (%s)\n", k.Name, k.Category)
+			suffix := ""
+			if parametric[k.Name] {
+				suffix = ", parametric"
+			}
+			fmt.Printf("%-16s (%s%s)\n", k.Name, k.Category, suffix)
 		}
 		return
-	}
-	k, ok := polybench.ByName(*kernel)
-	if !ok {
-		log.Fatalf("unknown kernel %q (use -list to see the available kernels)", *kernel)
-	}
-	sz, err := polybench.ParseSize(*size)
-	if err != nil {
-		log.Fatal(err)
 	}
 	cfg := core.Config{LineSize: *line}
 	for _, c := range strings.Split(*caches, ",") {
@@ -63,13 +70,51 @@ func main() {
 	opts.PartialEnumeration = !*noPartial
 	opts.Parallelism = *parallelism
 
-	prog := k.Build(sz)
-	res, err := core.Analyze(prog, cfg, opts)
-	if err != nil {
-		log.Fatalf("analysis failed: %v", err)
+	var res *core.Result
+	var caption string
+	if *params != "" {
+		pk, ok := polybench.ParametricByName(*kernel)
+		if !ok {
+			log.Fatalf("kernel %q has no parametric variant (available: %s)", *kernel, strings.Join(polybench.ParametricNames(), ", "))
+		}
+		bindings, err := parseBindings(*params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog := pk.Build()
+		// Validate the bindings before the expensive symbolic analysis: a
+		// typo in -params should fail in microseconds, not after minutes of
+		// model construction.
+		if err := prog.CheckBindings(bindings); err != nil {
+			log.Fatal(err)
+		}
+		pm, err := core.ComputeParametricModel(prog, cfg.LineSize, opts)
+		if err != nil {
+			log.Fatalf("parametric analysis failed: %v", err)
+		}
+		res, err = pm.Eval(cfg, bindings)
+		if err != nil {
+			log.Fatalf("evaluating the parametric model: %v", err)
+		}
+		caption = fmt.Sprintf("kernel %s at %s (parametric model: %d pieces, %d parametric, %d residual; built in %v, reusable for any size)",
+			pk.Name, *params, pm.DistancePieces(), pm.ParametricPieces(), pm.ResidualPieces(), pm.ComputeTime().Round(1e6))
+	} else {
+		k, ok := polybench.ByName(*kernel)
+		if !ok {
+			log.Fatalf("unknown kernel %q (use -list to see the available kernels)", *kernel)
+		}
+		sz, err := polybench.ParseSize(*size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = core.Analyze(k.Build(sz), cfg, opts)
+		if err != nil {
+			log.Fatalf("analysis failed: %v", err)
+		}
+		caption = fmt.Sprintf("kernel %s (%s)", k.Name, sz)
 	}
 
-	fmt.Printf("kernel %s (%s), %d memory accesses\n", k.Name, sz, res.TotalAccesses)
+	fmt.Printf("%s, %d memory accesses\n", caption, res.TotalAccesses)
 	if res.UsedTraceFallback {
 		fmt.Printf("note: symbolic analysis fell back to trace profiling (%s)\n", res.FallbackReason)
 	}
@@ -99,4 +144,21 @@ func main() {
 		fmt.Printf("coalescing hits: %d dedup, %d subsumed, %d adjacent/extension merges, %d redundant constraints dropped\n",
 			s.CoalesceDedup, s.CoalesceSubsumed, s.CoalesceAdjacent, s.CoalesceRedundantCons)
 	}
+}
+
+// parseBindings parses "NAME=value,NAME=value" parameter bindings.
+func parseBindings(s string) (map[string]int64, error) {
+	out := map[string]int64{}
+	for _, part := range strings.Split(s, ",") {
+		name, value, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("invalid parameter binding %q (want NAME=value)", part)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid value in parameter binding %q: %v", part, err)
+		}
+		out[strings.TrimSpace(name)] = v
+	}
+	return out, nil
 }

@@ -160,6 +160,38 @@ func SimulateReference(p *Program, cfg Config) (Reference, error) {
 	return core.SimulateReference(p, cfg)
 }
 
+// Parametric analysis ---------------------------------------------------------
+
+// ParametricModel is the fully problem-size-independent form of the
+// analysis: a program with symbolic size parameters (Program.NewParam,
+// Program.NewArrayP) is analyzed once, and every concrete size is an
+// instantiation — Eval returns the Result a concrete Analyze of the
+// instantiated program would produce, Bind yields a concrete DistanceModel.
+// It is safe for concurrent Eval and Bind calls.
+type ParametricModel = core.ParametricModel
+
+// ErrNonParametric reports that a pipeline stage cannot handle a piece of a
+// parametric analysis symbolically in the program parameters; errors from
+// ComputeParametricModel wrap it.
+var ErrNonParametric = core.ErrNonParametric
+
+// ComputeParametricModel analyzes a parametric program once for all problem
+// sizes at the given cache line size.
+func ComputeParametricModel(p *Program, lineSize int64, opts Options) (*ParametricModel, error) {
+	return core.ComputeParametricModel(p, lineSize, opts)
+}
+
+// ParametricKernel is a PolyBench kernel with symbolic problem-size
+// parameters and per-Size standard bindings.
+type ParametricKernel = polybench.ParametricKernel
+
+// ParametricKernels returns the PolyBench kernels available in parametric
+// form.
+func ParametricKernels() []ParametricKernel { return polybench.ParametricKernels() }
+
+// ParametricByName returns the named parametric kernel.
+func ParametricByName(name string) (ParametricKernel, bool) { return polybench.ParametricByName(name) }
+
 // Simulation ------------------------------------------------------------------
 
 // SimConfig describes a cache hierarchy for the trace-driven simulator,

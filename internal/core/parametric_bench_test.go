@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"haystack/internal/polybench"
+)
+
+// BenchmarkParametricGemm_EvalVsReanalyze quantifies the headline claim of
+// the parametric model: answering a new problem size from one shared
+// parametric analysis (Eval) versus running a fresh concrete analysis at
+// that size (ComputeDistances + CountMisses). The Eval sub-benchmark
+// measures the steady state of the amortized workflow — the model and its
+// per-capacity miss polynomials are built once outside the timer, exactly
+// like one long-lived model serving many size queries — while Reanalyze pays
+// the full symbolic distance phase per size, which is what every additional
+// size costs without the parametric model.
+func BenchmarkParametricGemm_EvalVsReanalyze(b *testing.B) {
+	pk, ok := polybench.ParametricByName("gemm")
+	if !ok {
+		b.Fatal("no parametric gemm")
+	}
+	cfg := DefaultConfig()
+	sizes := []map[string]int64{
+		pk.Bindings(polybench.Mini),
+		pk.Bindings(polybench.Small),
+		pk.Bindings(polybench.Medium),
+		{"NI": 300, "NJ": 350, "NK": 400},
+	}
+
+	b.Run("Eval", func(b *testing.B) {
+		pm, err := ComputeParametricModel(pk.Build(), cfg.LineSize, DefaultOptions())
+		if err != nil {
+			b.Fatalf("ComputeParametricModel: %v", err)
+		}
+		// Warm the per-capacity parametric polynomials (a one-time cost per
+		// hierarchy, shared by all sizes).
+		if _, err := pm.Eval(cfg, sizes[0]); err != nil {
+			b.Fatalf("warmup Eval: %v", err)
+		}
+		b.ReportMetric(float64(pm.ResidualPieces()), "residual-pieces")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pm.Eval(cfg, sizes[i%len(sizes)]); err != nil {
+				b.Fatalf("Eval: %v", err)
+			}
+		}
+	})
+
+	b.Run("Reanalyze", func(b *testing.B) {
+		prog := pk.Build()
+		for i := 0; i < b.N; i++ {
+			inst, err := prog.Instantiate(sizes[i%len(sizes)])
+			if err != nil {
+				b.Fatalf("Instantiate: %v", err)
+			}
+			dm, err := ComputeDistances(inst, cfg.LineSize, DefaultOptions())
+			if err != nil {
+				b.Fatalf("ComputeDistances: %v", err)
+			}
+			if _, err := dm.CountMisses(cfg); err != nil {
+				b.Fatalf("CountMisses: %v", err)
+			}
+		}
+	})
+}

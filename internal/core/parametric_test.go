@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"haystack/internal/polybench"
+	"haystack/internal/scop"
+)
+
+// Parametric models are expensive to build (minutes for jacobi-2d on one
+// core), so the differential tests share one model per kernel.
+var (
+	pmCacheMu sync.Mutex
+	pmCache   = map[string]*ParametricModel{}
+)
+
+func sharedParametricModel(t *testing.T, pk polybench.ParametricKernel, lineSize int64) *ParametricModel {
+	t.Helper()
+	pmCacheMu.Lock()
+	defer pmCacheMu.Unlock()
+	if pm, ok := pmCache[pk.Name]; ok && pm.LineSize == lineSize {
+		return pm
+	}
+	pm, err := ComputeParametricModel(pk.Build(), lineSize, DefaultOptions())
+	if err != nil {
+		t.Fatalf("ComputeParametricModel(%s): %v", pk.Name, err)
+	}
+	pmCache[pk.Name] = pm
+	return pm
+}
+
+// parametricBudget estimates the single-core cost of a kernel's
+// differential run (model construction plus per-size concrete analyses),
+// for requireBudget gating.
+func parametricBudget(name string) time.Duration {
+	switch name {
+	case "jacobi-2d":
+		// ~3 min model + minutes of concrete jacobi-2d analyses.
+		return 15 * time.Minute
+	default:
+		return 2 * time.Minute
+	}
+}
+
+// tinyParametric is a two-loop vector kernel with one symbolic size: small
+// enough for exhaustive cross-checks at many parameter values.
+func tinyParametric() *scop.Program {
+	p := scop.NewProgram("tiny")
+	n := p.NewParam("N")
+	A := p.NewArrayP("A", scop.ElemFloat64, scop.X(n))
+	i, j := scop.V("i"), scop.V("j")
+	p.Add(
+		scop.For(i, scop.C(0), scop.X(n),
+			scop.Stmt("S0", scop.Read(A, scop.X(i)))),
+		scop.For(j, scop.C(0), scop.X(n),
+			scop.Stmt("S1", scop.Read(A, scop.X(j)))),
+	)
+	return p
+}
+
+// requireSameResult asserts that two analysis results agree on every modeled
+// count (totals, compulsory, per-level misses, and the per-statement
+// breakdowns where both sides have them).
+func requireSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.TotalAccesses != want.TotalAccesses {
+		t.Errorf("%s: total accesses %d, want %d", label, got.TotalAccesses, want.TotalAccesses)
+	}
+	if got.CompulsoryMisses != want.CompulsoryMisses {
+		t.Errorf("%s: compulsory misses %d, want %d", label, got.CompulsoryMisses, want.CompulsoryMisses)
+	}
+	if len(got.Levels) != len(want.Levels) {
+		t.Fatalf("%s: %d levels, want %d", label, len(got.Levels), len(want.Levels))
+	}
+	for l := range got.Levels {
+		if got.Levels[l].CapacityMisses != want.Levels[l].CapacityMisses {
+			t.Errorf("%s: L%d capacity misses %d, want %d", label, l+1, got.Levels[l].CapacityMisses, want.Levels[l].CapacityMisses)
+		}
+		if got.Levels[l].TotalMisses != want.Levels[l].TotalMisses {
+			t.Errorf("%s: L%d total misses %d, want %d", label, l+1, got.Levels[l].TotalMisses, want.Levels[l].TotalMisses)
+		}
+		if got.Levels[l].PerStatementCapacity != nil && want.Levels[l].PerStatementCapacity != nil {
+			for stmt, n := range want.Levels[l].PerStatementCapacity {
+				if got.Levels[l].PerStatementCapacity[stmt] != n {
+					t.Errorf("%s: L%d capacity misses of %s: %d, want %d",
+						label, l+1, stmt, got.Levels[l].PerStatementCapacity[stmt], n)
+				}
+			}
+		}
+	}
+	if got.PerStatementCompulsory != nil && want.PerStatementCompulsory != nil {
+		for stmt, n := range want.PerStatementCompulsory {
+			if got.PerStatementCompulsory[stmt] != n {
+				t.Errorf("%s: compulsory misses of %s: %d, want %d", label, stmt, got.PerStatementCompulsory[stmt], n)
+			}
+		}
+	}
+}
+
+// TestTinyParametricAgainstSimulation validates the full parametric pipeline
+// on the tiny kernel against the exact reference simulation across many
+// sizes, including degenerate ones.
+func TestTinyParametricAgainstSimulation(t *testing.T) {
+	prog := tinyParametric()
+	pm, err := ComputeParametricModel(prog, 64, DefaultOptions())
+	if err != nil {
+		t.Fatalf("ComputeParametricModel: %v", err)
+	}
+	cfg := Config{LineSize: 64, CacheSizes: []int64{1024, 32 * 1024}}
+	for _, n := range []int64{1, 2, 7, 8, 9, 63, 64, 65, 100, 1000} {
+		bindings := map[string]int64{"N": n}
+		res, err := pm.Eval(cfg, bindings)
+		if err != nil {
+			t.Fatalf("Eval N=%d: %v", n, err)
+		}
+		inst, err := prog.Instantiate(bindings)
+		if err != nil {
+			t.Fatalf("Instantiate N=%d: %v", n, err)
+		}
+		ref, err := SimulateReference(inst, cfg)
+		if err != nil {
+			t.Fatalf("SimulateReference N=%d: %v", n, err)
+		}
+		if res.TotalAccesses != ref.TotalAccesses || res.CompulsoryMisses != ref.CompulsoryMisses {
+			t.Errorf("N=%d: accesses/compulsory %d/%d, reference %d/%d",
+				n, res.TotalAccesses, res.CompulsoryMisses, ref.TotalAccesses, ref.CompulsoryMisses)
+		}
+		for l := range cfg.CacheSizes {
+			if res.Levels[l].TotalMisses != ref.TotalMisses[l] {
+				t.Errorf("N=%d L%d: total misses %d, reference %d", n, l+1, res.Levels[l].TotalMisses, ref.TotalMisses[l])
+			}
+		}
+	}
+}
+
+// parametricKernelsUnderTest returns the parametric kernels the differential
+// tests cover: the cheap ones in every mode, all of them when the -timeout
+// budget allows (the jacobi-2d model alone takes minutes of symbolic
+// analysis on one core; its subtests gate on requireBudget).
+func parametricKernelsUnderTest(t *testing.T) []polybench.ParametricKernel {
+	var out []polybench.ParametricKernel
+	for _, pk := range polybench.ParametricKernels() {
+		if testing.Short() && pk.Name == "jacobi-2d" {
+			continue
+		}
+		out = append(out, pk)
+	}
+	if len(out) == 0 {
+		t.Fatal("no parametric kernels registered")
+	}
+	return out
+}
+
+// TestParametricEvalMatchesAnalyze is the parametric differential suite: for
+// every parametric PolyBench kernel, one ComputeParametricModel evaluated at
+// the standard sizes must be bit-identical to a concrete Analyze of the
+// registry kernel at that size. MINI and SMALL are covered in every mode
+// (the parametric model is shared across the sizes, so the marginal cost per
+// size is small).
+func TestParametricEvalMatchesAnalyze(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, pk := range parametricKernelsUnderTest(t) {
+		pk := pk
+		t.Run(pk.Name, func(t *testing.T) {
+			requireBudget(t, parametricBudget(pk.Name))
+			ck, ok := polybench.ByName(pk.Name)
+			if !ok {
+				t.Fatalf("no concrete kernel %s", pk.Name)
+			}
+			pm := sharedParametricModel(t, pk, cfg.LineSize)
+			t.Logf("%d distance pieces: %d parametric, %d residual",
+				pm.DistancePieces(), pm.ParametricPieces(), pm.ResidualPieces())
+			for _, sz := range []polybench.Size{polybench.Mini, polybench.Small} {
+				res, err := pm.Eval(cfg, pk.Bindings(sz))
+				if err != nil {
+					t.Fatalf("Eval %v: %v", sz, err)
+				}
+				want, err := Analyze(ck.Build(sz), cfg, DefaultOptions())
+				if err != nil {
+					t.Fatalf("Analyze %v: %v", sz, err)
+				}
+				if want.UsedTraceFallback {
+					t.Fatalf("concrete analysis of %s fell back to tracing (%s); the differential is vacuous", pk.Name, want.FallbackReason)
+				}
+				requireSameResult(t, sz.String(), res, want)
+			}
+		})
+	}
+}
+
+// TestParametricBindMatchesComputeDistances checks the second instantiation
+// path: Bind must produce a DistanceModel whose CountMisses results are
+// bit-identical to a fresh ComputeDistances of the instantiated program, for
+// MINI and SMALL.
+func TestParametricBindMatchesComputeDistances(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, pk := range parametricKernelsUnderTest(t) {
+		pk := pk
+		t.Run(pk.Name, func(t *testing.T) {
+			requireBudget(t, parametricBudget(pk.Name))
+			prog := pk.Build()
+			pm := sharedParametricModel(t, pk, cfg.LineSize)
+			sizes := []polybench.Size{polybench.Mini}
+			if !testing.Short() {
+				sizes = append(sizes, polybench.Small)
+			}
+			for _, sz := range sizes {
+				bindings := pk.Bindings(sz)
+				dm, err := pm.Bind(bindings)
+				if err != nil {
+					t.Fatalf("Bind %v: %v", sz, err)
+				}
+				inst, err := prog.Instantiate(bindings)
+				if err != nil {
+					t.Fatalf("Instantiate %v: %v", sz, err)
+				}
+				want, err := ComputeDistances(inst, cfg.LineSize, DefaultOptions())
+				if err != nil {
+					t.Fatalf("ComputeDistances %v: %v", sz, err)
+				}
+				gotRes, err := dm.CountMisses(cfg)
+				if err != nil {
+					t.Fatalf("bound CountMisses %v: %v", sz, err)
+				}
+				wantRes, err := want.CountMisses(cfg)
+				if err != nil {
+					t.Fatalf("fresh CountMisses %v: %v", sz, err)
+				}
+				if wantRes.UsedTraceFallback || gotRes.UsedTraceFallback {
+					t.Fatalf("trace fallback in differential (bound=%v fresh=%v)", gotRes.UsedTraceFallback, wantRes.UsedTraceFallback)
+				}
+				requireSameResult(t, sz.String(), gotRes, wantRes)
+			}
+		})
+	}
+}
+
+// TestParametricModelValidation covers the error paths of the parametric
+// entry points: missing/unknown parameters, context violations, line size
+// mismatches, and the guard that keeps parametric programs out of the
+// concrete pipeline.
+func TestParametricModelValidation(t *testing.T) {
+	prog := tinyParametric()
+	if _, err := ComputeDistances(prog, 64, DefaultOptions()); err == nil {
+		t.Error("ComputeDistances accepted a parametric program")
+	}
+	if _, err := Analyze(prog, DefaultConfig(), DefaultOptions()); err == nil {
+		t.Error("Analyze accepted a parametric program")
+	}
+	pm, err := ComputeParametricModel(prog, 64, DefaultOptions())
+	if err != nil {
+		t.Fatalf("ComputeParametricModel: %v", err)
+	}
+	cfg := Config{LineSize: 64, CacheSizes: []int64{1024}}
+	if _, err := pm.Eval(cfg, map[string]int64{}); err == nil {
+		t.Error("Eval accepted an empty binding")
+	}
+	if _, err := pm.Eval(cfg, map[string]int64{"N": 4, "M": 1}); err == nil {
+		t.Error("Eval accepted an unknown parameter")
+	}
+	if _, err := pm.Eval(cfg, map[string]int64{"N": 0}); err == nil {
+		t.Error("Eval accepted a binding violating the context N >= 1")
+	}
+	if _, err := pm.Eval(Config{LineSize: 32, CacheSizes: []int64{1024}}, map[string]int64{"N": 4}); err == nil {
+		t.Error("Eval accepted a mismatched line size")
+	}
+	if _, err := ComputeParametricModel(gemm(8), 64, DefaultOptions()); err == nil {
+		t.Error("ComputeParametricModel accepted a non-parametric program")
+	}
+	// ErrNonParametric is a typed, wrappable error.
+	if !errors.Is(nonParametric("stage", errors.New("boom")), ErrNonParametric) {
+		t.Error("nonParametric does not wrap ErrNonParametric")
+	}
+}

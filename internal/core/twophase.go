@@ -68,6 +68,9 @@ func ComputeDistances(prog *scop.Program, lineSize int64, opts Options) (*Distan
 	if lineSize <= 0 {
 		return nil, fmt.Errorf("core: line size must be positive")
 	}
+	if prog.IsParametric() {
+		return nil, fmt.Errorf("core: program %s is parametric; use ComputeParametricModel (or Instantiate it first)", prog.Name)
+	}
 	dm := &DistanceModel{Kernel: prog.Name, LineSize: lineSize, opts: opts, prog: prog}
 	dm.baseStats.NonAffineByAffineDims = map[int]int{}
 

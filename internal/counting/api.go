@@ -8,22 +8,26 @@ import (
 )
 
 // CountBasicSet returns the exact number of integer points of the basic set,
-// computed symbolically (no parameters).
+// computed symbolically (no parameters). The summand form is used directly:
+// the total is the sum over all zero-dimensional summand pieces, so the
+// disjointness fold of CardBasicSet would be pure overhead here.
 func CountBasicSet(bs presburger.BasicSet) (int64, error) {
-	pw, err := CardBasicSet(bs, 0, presburger.NewSpace(bs.Space().Name))
+	sum, err := CardBasicSetSummands(bs, 0, presburger.NewSpace(bs.Space().Name), 0)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
-	for _, piece := range pw.Pieces {
-		if !piece.Domain.Contains(nil) {
-			continue
+	for _, term := range sum.Terms {
+		for _, piece := range term.Pieces {
+			if !piece.Domain.Contains(nil) {
+				continue
+			}
+			v := piece.Poly.Eval(nil)
+			if !v.IsInt() {
+				return 0, fmt.Errorf("%w: non-integer count %v", ErrUnsupported, v)
+			}
+			total += v.Int()
 		}
-		v := piece.Poly.Eval(nil)
-		if !v.IsInt() {
-			return 0, fmt.Errorf("%w: non-integer count %v", ErrUnsupported, v)
-		}
-		total += v.Int()
 	}
 	return total, nil
 }
@@ -42,6 +46,49 @@ func CountSet(s presburger.Set) (int64, error) {
 			return 0, err
 		}
 		total += n
+	}
+	return total, nil
+}
+
+// CardSet counts the distinct integer points of s parametrically in its
+// first nParam dimensions: the result maps every value of the parameter
+// dimensions to the number of points of the remaining dimensions.
+// Overlapping basic sets are made disjoint by subtraction before counting,
+// so union semantics hold for every parameter value.
+func CardSet(s presburger.Set, nParam int, paramSpace presburger.Space) (qpoly.PwQPoly, error) {
+	disjoint, err := DisjointBasicSets(s)
+	if err != nil {
+		return qpoly.PwQPoly{}, err
+	}
+	total := qpoly.ZeroPw(paramSpace)
+	for _, bs := range disjoint {
+		card, err := CardBasicSet(bs, nParam, paramSpace)
+		if err != nil {
+			return qpoly.PwQPoly{}, err
+		}
+		total = total.Add(card)
+	}
+	return total, nil
+}
+
+// CardSetRanges counts the distinct points of the ranges of a union map
+// parametrically in the first nParam dimensions of every output space,
+// summed over the output spaces (the parametric analogue of
+// CountSetRanges: for the cache line access map the result is the number of
+// touched lines, i.e. the compulsory misses, as a piecewise
+// quasi-polynomial in the program parameters).
+func CardSetRanges(u presburger.UnionMap, nParam int, paramSpace presburger.Space) (qpoly.PwQPoly, error) {
+	ranges, err := u.Range()
+	if err != nil {
+		return qpoly.PwQPoly{}, err
+	}
+	total := qpoly.ZeroPw(paramSpace)
+	for _, s := range ranges.Sets() {
+		card, err := CardSet(s, nParam, paramSpace)
+		if err != nil {
+			return qpoly.PwQPoly{}, err
+		}
+		total = total.Add(card)
 	}
 	return total, nil
 }

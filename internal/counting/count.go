@@ -1,6 +1,7 @@
 package counting
 
 import (
+	"errors"
 	"fmt"
 
 	"haystack/internal/ints"
@@ -8,42 +9,86 @@ import (
 	"haystack/internal/qpoly"
 )
 
+// ErrBudget reports that a budgeted parametric count exceeded its system
+// budget. The caller can fall back to a different counting strategy; the
+// result is never silently truncated.
+var ErrBudget = errors.New("counting: system budget exceeded")
+
 // CardBasicSet counts the integer points of bs parametrically in its first
 // nParam dimensions: the result maps every value of the parameter dimensions
 // to the number of points of the remaining dimensions. The piece domains of
 // the result live in paramSpace (which must have nParam dimensions).
 func CardBasicSet(bs presburger.BasicSet, nParam int, paramSpace presburger.Space) (qpoly.PwQPoly, error) {
+	return CardBasicSetBudgeted(bs, nParam, paramSpace, 0)
+}
+
+// CardBasicSetBudgeted is CardBasicSet with a deterministic cap on the
+// number of intermediate systems the summation may fan out into (every
+// (lower bound, upper bound) pair of an eliminated dimension and every
+// residue class of a floor split produces one system). A budget of zero or
+// below means unlimited; exceeding a positive budget returns ErrBudget.
+// Callers with a cheaper exact fallback — like the parametric capacity
+// counter, which can instantiate a piece per evaluation instead — use the
+// budget to bound the one-time symbolic cost.
+func CardBasicSetBudgeted(bs presburger.BasicSet, nParam int, paramSpace presburger.Space, budget int) (qpoly.PwQPoly, error) {
+	summands, err := CardBasicSetSummands(bs, nParam, paramSpace, budget)
+	if err != nil {
+		return qpoly.PwQPoly{}, err
+	}
+	// The summand domains may overlap (they were made disjoint only with
+	// respect to the counted dimensions). Fold them into a disjoint piecewise
+	// quasi-polynomial so that every parameter point is covered by exactly
+	// one piece.
+	result := qpoly.ZeroPw(paramSpace)
+	for _, s := range summands.Terms {
+		result = result.Add(s)
+	}
+	return result, nil
+}
+
+// CardBasicSetSummands is the sum form of CardBasicSetBudgeted: it returns
+// the per-system cardinalities as a qpoly.PwSum (overlapping domains, sum
+// semantics) without the quadratic disjointness fold of CardBasicSet. For
+// counts that are only evaluated — never compared piecewise — this is
+// dramatically cheaper when the summation fans out into many systems.
+func CardBasicSetSummands(bs presburger.BasicSet, nParam int, paramSpace presburger.Space, budget int) (qpoly.PwSum, error) {
 	if paramSpace.Dim() != nParam {
 		panic("counting: parameter space arity mismatch")
 	}
 	sys := newSystem(bs, nParam)
 	systems := []*system{sys}
+	processed := 0
 	for dim := bs.NDim() - 1; dim >= nParam; dim-- {
 		var next []*system
 		for _, s := range systems {
 			out, err := s.sumOutDim(dim)
 			if err != nil {
-				return qpoly.PwQPoly{}, err
+				return qpoly.PwSum{}, err
 			}
 			for _, o := range out {
 				if !o.definitelyEmpty() {
 					next = append(next, o)
 				}
 			}
+			// The fan-out compounds across elimination rounds, so the budget
+			// is checked while a round accumulates, not after it: a single
+			// round can otherwise burn minutes before the check runs.
+			processed += len(out)
+			if budget > 0 && processed > budget {
+				return qpoly.PwSum{}, fmt.Errorf("%w: %d systems while eliminating dimension %d", ErrBudget, processed, dim)
+			}
 		}
 		systems = next
 	}
-	// The surviving systems are summands: their parameter-space domains may
-	// overlap (they were made disjoint only with respect to the counted
-	// dimensions). Fold them into a disjoint piecewise quasi-polynomial so
-	// that every parameter point is covered by exactly one piece.
-	result := qpoly.ZeroPw(paramSpace)
+	result := qpoly.ZeroSum(paramSpace)
 	for _, s := range systems {
 		piece, err := s.toPiece(paramSpace)
 		if err != nil {
-			return qpoly.PwQPoly{}, err
+			return qpoly.PwSum{}, err
 		}
-		result = result.Add(qpoly.SinglePiece(piece.Domain, piece.Poly))
+		// The sum is uniquely owned here; append in place instead of paying
+		// Add's defensive copy once per system.
+		result.Terms = append(result.Terms, qpoly.SinglePiece(piece.Domain, piece.Poly))
 	}
 	return result, nil
 }
@@ -186,6 +231,9 @@ func (s *system) splitResidues(dim int) ([]*system, error) {
 	}
 	var out []*system
 	for r := int64(0); r < period; r++ {
+		if !s.residueFeasible(dim, period, r) {
+			continue
+		}
 		sub, err := s.substituteProgression(dim, period, r)
 		if err != nil {
 			return nil, err
@@ -195,6 +243,37 @@ func (s *system) splitResidues(dim int) ([]*system, error) {
 		}
 	}
 	return out, nil
+}
+
+// residueFeasible is a clone-free pre-filter for residue classes: it applies
+// the substitution dim := P*t + r to every equality constraint and rejects
+// the class when the resulting coefficients share a factor that does not
+// divide the constant (the integer-divisibility contradiction that kills
+// most classes when an equality like j == 8*floor(j/8) pins the residue).
+// Returning true makes no feasibility claim.
+func (s *system) residueFeasible(dim int, period, r int64) bool {
+	col := s.dimCol(dim)
+	for _, c := range s.cons {
+		if !c.Eq {
+			continue
+		}
+		cc := c.C.Resized(s.ncols())
+		a := cc[col]
+		if a == 0 {
+			continue
+		}
+		g := a * period
+		for j := 1; j < len(cc); j++ {
+			if j == col {
+				continue
+			}
+			g = ints.GCD(g, cc[j])
+		}
+		if g > 1 && (cc[0]+a*r)%g != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // substituteProgression substitutes dim := P*dim + r throughout the system

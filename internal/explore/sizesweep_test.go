@@ -1,0 +1,135 @@
+package explore
+
+import (
+	"testing"
+
+	"haystack/internal/core"
+	"haystack/internal/polybench"
+	"haystack/internal/scop"
+)
+
+// sizeSweepProgram is a small parametric kernel (two passes over a vector)
+// cheap enough to validate the sweep against per-size concrete analyses.
+func sizeSweepProgram() *scop.Program {
+	p := scop.NewProgram("sweep-vec")
+	n := p.NewParam("N")
+	A := p.NewArrayP("A", scop.ElemFloat64, scop.X(n))
+	B := p.NewArrayP("B", scop.ElemFloat64, scop.X(n))
+	i, j := scop.V("i"), scop.V("j")
+	p.Add(
+		scop.For(i, scop.C(0), scop.X(n),
+			scop.Stmt("S0", scop.Read(A, scop.X(i)), scop.Write(B, scop.X(i)))),
+		scop.For(j, scop.C(0), scop.X(n),
+			scop.Stmt("S1", scop.Read(B, scop.X(j)), scop.Read(A, scop.X(j)))),
+	)
+	return p
+}
+
+// TestSizeSweepMatchesPerSizeAnalyze checks that one shared parametric model
+// reproduces per-size concrete analyses bit-identically, at several
+// parallelism levels.
+func TestSizeSweepMatchesPerSizeAnalyze(t *testing.T) {
+	prog := sizeSweepProgram()
+	cfg := core.Config{LineSize: 64, CacheSizes: []int64{512, 8 * 1024}}
+	var sizes []map[string]int64
+	for _, n := range []int64{3, 8, 17, 64, 129, 500} {
+		sizes = append(sizes, map[string]int64{"N": n})
+	}
+	var first *SizeSweepResult
+	for _, par := range []int{1, 2, 7} {
+		opts := DefaultOptions()
+		opts.Parallelism = par
+		res, err := SizeSweep(prog, cfg, sizes, opts)
+		if err != nil {
+			t.Fatalf("SizeSweep(parallelism=%d): %v", par, err)
+		}
+		if res.Stats.Sizes != len(sizes) || len(res.Evaluations) != len(sizes) {
+			t.Fatalf("parallelism=%d: %d evaluations, want %d", par, len(res.Evaluations), len(sizes))
+		}
+		for i, ev := range res.Evaluations {
+			inst, err := prog.Instantiate(sizes[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.Analyze(inst, cfg, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("Analyze N=%d: %v", sizes[i]["N"], err)
+			}
+			if ev.Result.TotalAccesses != want.TotalAccesses ||
+				ev.Result.CompulsoryMisses != want.CompulsoryMisses {
+				t.Errorf("parallelism=%d N=%d: accesses/compulsory %d/%d, want %d/%d", par, sizes[i]["N"],
+					ev.Result.TotalAccesses, ev.Result.CompulsoryMisses, want.TotalAccesses, want.CompulsoryMisses)
+			}
+			for l := range cfg.CacheSizes {
+				if ev.Result.Levels[l].TotalMisses != want.Levels[l].TotalMisses {
+					t.Errorf("parallelism=%d N=%d L%d: misses %d, want %d", par, sizes[i]["N"], l+1,
+						ev.Result.Levels[l].TotalMisses, want.Levels[l].TotalMisses)
+				}
+			}
+			if first != nil && ev.Result.Levels[0].TotalMisses != first.Evaluations[i].Result.Levels[0].TotalMisses {
+				t.Errorf("parallelism=%d N=%d: result differs from parallelism=1", par, sizes[i]["N"])
+			}
+		}
+		if first == nil {
+			first = res
+		}
+	}
+}
+
+// TestSizeSweepPolybenchGemm runs the sweep over the standard gemm sizes and
+// checks the shared-model bookkeeping (one model, many sizes).
+func TestSizeSweepPolybenchGemm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parametric gemm model is expensive on one core")
+	}
+	pk, ok := polybench.ParametricByName("gemm")
+	if !ok {
+		t.Fatal("no parametric gemm")
+	}
+	cfg := core.DefaultConfig()
+	sizes := []map[string]int64{
+		pk.Bindings(polybench.Mini),
+		pk.Bindings(polybench.Small),
+		pk.Bindings(polybench.Medium),
+	}
+	res, err := SizeSweep(pk.Build(), cfg, sizes, DefaultOptions())
+	if err != nil {
+		t.Fatalf("SizeSweep: %v", err)
+	}
+	if res.Model == nil || res.Stats.DistancePieces == 0 {
+		t.Fatal("shared model missing from the result")
+	}
+	want, err := core.Analyze(mustBuild(t, "gemm", polybench.Small), cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Evaluations[1].Result
+	for l := range cfg.CacheSizes {
+		if got.Levels[l].TotalMisses != want.Levels[l].TotalMisses {
+			t.Errorf("SMALL L%d: misses %d, want %d", l+1, got.Levels[l].TotalMisses, want.Levels[l].TotalMisses)
+		}
+	}
+}
+
+func mustBuild(t *testing.T, name string, sz polybench.Size) *scop.Program {
+	t.Helper()
+	k, ok := polybench.ByName(name)
+	if !ok {
+		t.Fatalf("no kernel %s", name)
+	}
+	return k.Build(sz)
+}
+
+// TestSizeSweepValidation covers the error paths.
+func TestSizeSweepValidation(t *testing.T) {
+	cfg := core.Config{LineSize: 64, CacheSizes: []int64{512}}
+	if _, err := SizeSweep(sizeSweepProgram(), cfg, nil, DefaultOptions()); err == nil {
+		t.Error("empty size list accepted")
+	}
+	concrete := scop.NewProgram("c")
+	a := concrete.NewArray("A", scop.ElemFloat64, 8)
+	concrete.Add(scop.For(scop.V("i"), scop.C(0), scop.C(8), scop.Stmt("S0", scop.Read(a, scop.X(scop.V("i"))))))
+	if _, err := SizeSweep(concrete, cfg, []map[string]int64{{"N": 1}}, DefaultOptions()); err == nil {
+		t.Error("non-parametric program accepted")
+	}
+}

@@ -26,11 +26,8 @@ func registerStencils() {
 	})
 
 	// jacobi-2d: two 5-point sweeps per time step.
-	j2Dims := dims{
-		Mini: {30, 20}, Small: {90, 40}, Medium: {250, 100}, Large: {1300, 500}, ExtraLarge: {2800, 1000},
-	}
 	register("jacobi-2d", "stencil", func(s Size) *scop.Program {
-		d := j2Dims.at(s)
+		d := jacobi2dDims.at(s)
 		n, tsteps := d[0], d[1]
 		p := scop.NewProgram("jacobi-2d")
 		A := p.NewArray("A", elem, n, n)

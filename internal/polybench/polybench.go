@@ -135,12 +135,24 @@ func init() {
 // Linear algebra: BLAS-like kernels and multi-matrix products.
 // ---------------------------------------------------------------------------
 
+// gemmDims, trmmDims, and jacobi2dDims are shared between the concrete
+// kernel builders below and the parametric builders in parametric.go, so the
+// standard problem sizes cannot drift apart.
+var gemmDims = dims{
+	Mini: {20, 25, 30}, Small: {60, 70, 80}, Medium: {200, 220, 240},
+	Large: {1000, 1100, 1200}, ExtraLarge: {2000, 2300, 2600},
+}
+
+var trmmDims = dims{
+	Mini: {20, 30}, Small: {60, 80}, Medium: {200, 240}, Large: {1000, 1200}, ExtraLarge: {2000, 2600},
+}
+
+var jacobi2dDims = dims{
+	Mini: {30, 20}, Small: {90, 40}, Medium: {250, 100}, Large: {1300, 500}, ExtraLarge: {2800, 1000},
+}
+
 func registerLinearAlgebra() {
 	// gemm: C = alpha*A*B + beta*C.
-	gemmDims := dims{
-		Mini: {20, 25, 30}, Small: {60, 70, 80}, Medium: {200, 220, 240},
-		Large: {1000, 1100, 1200}, ExtraLarge: {2000, 2300, 2600},
-	}
 	register("gemm", "blas", func(s Size) *scop.Program {
 		d := gemmDims.at(s)
 		ni, nj, nk := d[0], d[1], d[2]
@@ -418,9 +430,6 @@ func registerLinearAlgebra() {
 	})
 
 	// trmm: triangular matrix multiply.
-	trmmDims := dims{
-		Mini: {20, 30}, Small: {60, 80}, Medium: {200, 240}, Large: {1000, 1200}, ExtraLarge: {2000, 2600},
-	}
 	register("trmm", "blas", func(s Size) *scop.Program {
 		d := trmmDims.at(s)
 		m, n := d[0], d[1]

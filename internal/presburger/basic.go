@@ -305,6 +305,20 @@ func (b *basic) simplify() bool {
 			}
 			continue
 		}
+		if c.Eq {
+			// Integer divisibility: g*f + c0 == 0 with g not dividing c0 has
+			// no integer solution (normalizeConstraint left the constraint
+			// unscaled exactly in this case). Rational feasibility cannot see
+			// this, and residue splitting in the counting layer produces such
+			// systems wholesale.
+			var g int64
+			for _, x := range c.C[1:] {
+				g = ints.GCD(g, x)
+			}
+			if g > 1 && c.C[0]%g != 0 {
+				return false
+			}
+		}
 		h := coeffHash(c.C, false)
 		// The negated-coefficient hash is only needed to compare against
 		// stored equalities; computing it lazily keeps the common

@@ -300,3 +300,114 @@ func (b *basic) eliminateDimCols(cols []int) error {
 	}
 	return nil
 }
+
+// eliminateDimColApprox projects out the column like eliminateDimCol, but
+// never fails: when the exact strategies do not apply, the projection is
+// over-approximated — divs that (transitively) reference the column are
+// dropped together with every constraint mentioning them, and the remaining
+// bounds on the column are combined by rational Fourier–Motzkin without the
+// integrality side conditions. Every point of the exact projection satisfies
+// the result, so the result is a superset. Callers that only need candidate
+// values to test against the exact set (enumeration) stay exact.
+func (b *basic) eliminateDimColApprox(col int) {
+	if err := b.eliminateDimCol(col); err == nil {
+		return
+	}
+	// Drop divs that transitively reference the column.
+	removed := make([]bool, len(b.divs))
+	for {
+		changed := false
+		for i := range b.divs {
+			if removed[i] {
+				continue
+			}
+			num := b.divs[i].Num.Resized(b.ncols())
+			if num[col] != 0 {
+				removed[i], changed = true, true
+				continue
+			}
+			for j := range b.divs {
+				if removed[j] && num[b.divCol(j)] != 0 {
+					removed[i], changed = true, true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	keep := b.cons[:0]
+	for _, c := range b.cons {
+		cc := c.C.Resized(b.ncols())
+		drop := false
+		for i := range b.divs {
+			if removed[i] && cc[b.divCol(i)] != 0 {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			keep = append(keep, Constraint{C: cc, Eq: c.Eq})
+		}
+	}
+	b.cons = keep
+	for i := len(b.divs) - 1; i >= 0; i-- {
+		if removed[i] {
+			// Unreferenced now: constraints mentioning it were dropped and
+			// surviving divs cannot reference a removed div by construction.
+			b.divs[i].Num = NewVec(b.ncols())
+			b.dropColumn(b.divCol(i))
+		}
+	}
+	// With the offending divs gone the exact strategies may apply again.
+	if err := b.eliminateDimCol(col); err == nil {
+		return
+	}
+	// Rational Fourier–Motzkin: equalities referencing the column act as a
+	// lower and an upper bound at once.
+	var lowers, uppers, rest []Constraint
+	for _, c := range b.cons {
+		a := c.C[col]
+		switch {
+		case a == 0:
+			rest = append(rest, c)
+		case c.Eq:
+			lowers = append(lowers, Constraint{C: c.C.Clone()})
+			uppers = append(uppers, Constraint{C: c.C.Neg()})
+		case a > 0:
+			lowers = append(lowers, c)
+		default:
+			uppers = append(uppers, c)
+		}
+	}
+	// Re-normalize signs: after the equality split a "lower" may still have a
+	// negative coefficient.
+	fix := func(cs []Constraint, wantPos bool) []Constraint {
+		out := cs[:0]
+		for _, c := range cs {
+			if (c.C[col] > 0) == wantPos {
+				out = append(out, c)
+			} else {
+				out = append(out, Constraint{C: c.C.Neg()})
+			}
+		}
+		return out
+	}
+	lowers = fix(lowers, true)
+	uppers = fix(uppers, false)
+	for _, lo := range lowers {
+		for _, up := range uppers {
+			a := lo.C[col]
+			bb := -up.C[col]
+			nc := NewVec(b.ncols())
+			for j := range nc {
+				nc[j] = a*up.C[j] + bb*lo.C[j]
+			}
+			nc[col] = 0
+			rest = append(rest, Constraint{C: nc})
+		}
+	}
+	b.cons = rest
+	b.dropColumn(col)
+}

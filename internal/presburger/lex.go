@@ -33,10 +33,12 @@ func lexPrefixStrict(sp Space, d int) BasicMap {
 }
 
 // LexLT returns the relation { x -> y : x lexicographically smaller than y }
-// on the space.
+// on the space. Parameter dimensions (sp.NParam) are never ordered: the
+// relation holds only between tuples with equal parameter values, and the
+// first position that may differ is the first non-parameter dimension.
 func LexLT(sp Space) Map {
 	m := EmptyMap(sp, sp)
-	for d := 0; d < sp.Dim(); d++ {
+	for d := sp.NParam; d < sp.Dim(); d++ {
 		m.basics = append(m.basics, lexPrefixStrict(sp, d))
 	}
 	return m

@@ -115,6 +115,79 @@ func (bs BasicSet) ProjectOut(first, n int) (BasicSet, error) {
 	return out, nil
 }
 
+// RemoveRedundancies normalizes the basic set and drops inequality
+// constraints implied by the remaining ones (budgeted rational implication,
+// the same rule the coalescer applies per basic). Fewer bounds per dimension
+// directly shrink the fan-out of parametric counting, which splits on every
+// (lower, upper) bound pair. Returns ok=false when the set is detected
+// empty.
+func (bs BasicSet) RemoveRedundancies() (BasicSet, bool) {
+	out := bs.clone()
+	if !out.b.simplify() {
+		return out, false
+	}
+	out.b.removeRedundantCons()
+	// Dropped constraints can orphan div definitions; unused divs are not
+	// harmless for counting, which residue-splits every dimension any div
+	// references.
+	out.b.dropUnusedDivs()
+	return out, true
+}
+
+// SubstituteLeadingDims fixes the first len(vals) dimensions to the given
+// constants and removes them: every constraint and div numerator folds the
+// bound columns into its constant term. Unlike FixDim+ProjectOut this is a
+// single O(size) pass with no elimination machinery — the specialization
+// used to instantiate parametric piece domains at one parameter point.
+// Returns ok=false when the result is detectably empty.
+func (bs BasicSet) SubstituteLeadingDims(vals []int64) (BasicSet, bool) {
+	n := len(vals)
+	if n == 0 {
+		return bs, !bs.DefinitelyEmpty()
+	}
+	if n > bs.NDim() {
+		panic("presburger: substituting more dimensions than the set has")
+	}
+	oldCols := bs.b.ncols()
+	fold := func(v Vec) Vec {
+		v = v.Resized(oldCols)
+		out := make(Vec, 0, oldCols-n)
+		c0 := v[0]
+		for i := 0; i < n; i++ {
+			c0 += v[1+i] * vals[i]
+		}
+		out = append(out, c0)
+		out = append(out, v[1+n:]...)
+		return out
+	}
+	nb := newBasic(bs.b.ndim - n)
+	for _, d := range bs.b.divs {
+		nb.divs = append(nb.divs, Div{Num: fold(d.Num), Den: d.Den})
+	}
+	for _, c := range bs.b.cons {
+		nb.cons = append(nb.cons, Constraint{C: fold(c.C), Eq: c.Eq})
+	}
+	ok := nb.simplify()
+	out := BasicSet{space: Space{Name: bs.space.Name, Dims: append([]string(nil), bs.space.Dims[n:]...)}, b: nb}
+	return out, ok
+}
+
+// ProjectOutApprox is ProjectOut without a failure mode: dimensions the
+// exact strategies cannot eliminate are projected by dropping the div
+// definitions that reference them and combining the remaining bounds with
+// rational Fourier–Motzkin. The result is a superset of the exact
+// projection, suitable for generating candidate points that are validated
+// against the exact set afterwards (partial enumeration).
+func (bs BasicSet) ProjectOutApprox(first, n int) BasicSet {
+	out := bs.clone()
+	for i := n - 1; i >= 0; i-- {
+		out.b.eliminateDimColApprox(out.b.dimCol(first + i))
+	}
+	dims := append(append([]string(nil), bs.space.Dims[:first]...), bs.space.Dims[first+n:]...)
+	out.space = Space{Name: bs.space.Name, Dims: dims}
+	return out
+}
+
 // Simplify normalizes constraints and returns ok=false when the basic set is
 // detected to be empty.
 func (bs BasicSet) Simplify() (BasicSet, bool) {

@@ -29,14 +29,36 @@ var ErrUnsupported = errors.New("presburger: operation outside supported fragmen
 
 // Space names a tuple of integer dimensions, e.g. the instances of statement
 // "S0" with dimensions i and j, or the elements of array "A".
+//
+// The first NParam dimensions may be marked as symbolic program parameters:
+// fixed-but-unknown values shared by every tuple of an execution rather than
+// real tuple coordinates. Parameter dimensions take part in all set and map
+// operations like ordinary dimensions (intersection, composition,
+// subtraction, and coalescing carry them through unchanged), with one
+// semantic difference: the lexicographic order maps (LexLT and friends)
+// relate only tuples with equal parameter values and order the remaining
+// dimensions, so lexmin/lexmax treat parameters as outermost fixed inputs.
 type Space struct {
 	Name string
 	Dims []string
+	// NParam is the number of leading dimensions that are symbolic program
+	// parameters. It is carried metadata and does not affect space identity
+	// (Equal compares name and arity only).
+	NParam int
 }
 
 // NewSpace returns a space with the given tuple name and dimension names.
 func NewSpace(name string, dims ...string) Space {
 	return Space{Name: name, Dims: append([]string(nil), dims...)}
+}
+
+// NewParamSpace returns a space whose first nParam dimensions are symbolic
+// parameters.
+func NewParamSpace(name string, nParam int, dims ...string) Space {
+	if nParam < 0 || nParam > len(dims) {
+		panic("presburger: parameter count out of range")
+	}
+	return Space{Name: name, Dims: append([]string(nil), dims...), NParam: nParam}
 }
 
 // Dim returns the number of dimensions of the space.

@@ -195,6 +195,92 @@ func (p QPoly) BindVar(v int, value int64) QPoly {
 	return out
 }
 
+// BindLeadingVars fixes the first len(vals) variables to constants and
+// renumbers the remaining variables down, returning a polynomial over
+// NVar-len(vals) variables. It is the single-pass specialization of
+// BindVar+MapVars for instantiating a parametric polynomial at a parameter
+// point: atom numerators fold the bound variables into their constant term,
+// atoms that become constant fold into plain numbers, and term coefficients
+// absorb the bound variable powers.
+func (p QPoly) BindLeadingVars(vals []int64) QPoly {
+	n := len(vals)
+	if n == 0 {
+		return p
+	}
+	if n > p.NVar {
+		panic("qpoly: binding more variables than the polynomial has")
+	}
+	newNVar := p.NVar - n
+	// Rewrite atoms: fold bound vars into the constant, shift the remaining
+	// variable columns down. Atom columns keep their relative positions.
+	atoms := make([]Atom, len(p.Atoms))
+	constVal := make(map[int]int64)
+	for i, a := range p.Atoms {
+		num := make([]int64, 0, len(a.Num))
+		c0 := int64(0)
+		if len(a.Num) > 0 {
+			c0 = a.Num[0]
+		}
+		for v := 0; v < n && 1+v < len(a.Num); v++ {
+			c0 += a.Num[1+v] * vals[v]
+		}
+		num = append(num, c0)
+		for j := 1 + n; j < len(a.Num); j++ {
+			num = append(num, a.Num[j])
+		}
+		atoms[i] = Atom{Num: num, Den: a.Den}
+		// Constant if no variable and no non-constant atom reference remains.
+		isConst := true
+		s := c0
+		for j := 1; j < len(num); j++ {
+			if num[j] == 0 {
+				continue
+			}
+			if j > newNVar {
+				if cv, ok := constVal[j-1-newNVar]; ok {
+					s += num[j] * cv
+					continue
+				}
+			}
+			isConst = false
+			break
+		}
+		if isConst {
+			constVal[i] = ints.FloorDiv(s, a.Den)
+		}
+	}
+	out := QPoly{NVar: newNVar, Atoms: atoms}
+	ncols := newNVar + len(atoms)
+	for _, t := range p.Terms {
+		coef := t.Coef
+		pow := make([]int, ncols)
+		for j, e := range t.Pow {
+			if e == 0 {
+				continue
+			}
+			switch {
+			case j < n:
+				for k := 0; k < e; k++ {
+					coef = coef.Mul(ints.RatInt(vals[j]))
+				}
+			case j < p.NVar:
+				pow[j-n] = e
+			default:
+				idx := j - p.NVar
+				if cv, isC := constVal[idx]; isC {
+					for k := 0; k < e; k++ {
+						coef = coef.Mul(ints.RatInt(cv))
+					}
+				} else {
+					pow[newNVar+idx] = e
+				}
+			}
+		}
+		out.Terms = append(out.Terms, Term{Coef: coef, Pow: pow})
+	}
+	return out.normalize()
+}
+
 // AtomsDependingOnVar returns the indices of atoms whose argument
 // (transitively) references variable v.
 func (p QPoly) AtomsDependingOnVar(v int) []int {

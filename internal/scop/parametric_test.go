@@ -1,0 +1,161 @@
+package scop
+
+import (
+	"strings"
+	"testing"
+)
+
+func parametricVec() *Program {
+	p := NewProgram("vec")
+	n := p.NewParam("N")
+	A := p.NewArrayP("A", ElemFloat64, X(n))
+	i := V("i")
+	p.Add(For(i, C(0), X(n), Stmt("S0", Read(A, X(i)))))
+	return p
+}
+
+func TestInstantiateSubstitutesEverywhere(t *testing.T) {
+	p := NewProgram("ex")
+	n := p.NewParam("N")
+	A := p.NewArrayP("A", ElemFloat64, X(n), X(n).Plus(C(2)))
+	i, j := V("i"), V("j")
+	p.Add(For(i, C(0), X(n),
+		For(j, X(i), X(n).Plus(C(2)),
+			Stmt("S0", Read(A, X(i), X(n).Minus(C(1)).Minus(X(j).Minus(X(j))))))))
+	inst, err := p.Instantiate(map[string]int64{"N": 5})
+	if err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if inst.IsParametric() {
+		t.Fatal("instantiated program still parametric")
+	}
+	if got := inst.Arrays[0].Dims; got[0] != 5 || got[1] != 7 {
+		t.Fatalf("array dims %v, want [5 7]", got)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	counts := DynamicStatementInstances(inst)
+	if counts["S0"] != 5*7-(0+1+2+3+4) {
+		t.Fatalf("S0 instances %d", counts["S0"])
+	}
+	// The original program is untouched.
+	if !p.IsParametric() || p.Arrays[0].Dims != nil {
+		t.Fatal("Instantiate mutated the original program")
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	p := parametricVec()
+	if _, err := p.Instantiate(nil); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("missing binding: err=%v", err)
+	}
+	if _, err := p.Instantiate(map[string]int64{"N": 4, "M": 2}); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown binding: err=%v", err)
+	}
+	if _, err := p.Instantiate(map[string]int64{"N": 0}); err == nil || !strings.Contains(err.Error(), "context") {
+		t.Errorf("context violation (implicit N >= 1): err=%v", err)
+	}
+	p.Require(X(V("N")).Minus(C(10))) // N >= 10
+	if _, err := p.Instantiate(map[string]int64{"N": 5}); err == nil {
+		t.Error("explicit context constraint not enforced")
+	}
+	if _, err := p.Instantiate(map[string]int64{"N": 10}); err != nil {
+		t.Errorf("N=10 satisfies the context: %v", err)
+	}
+	concrete := NewProgram("c")
+	concrete.NewArray("A", ElemFloat64, 4)
+	if _, err := concrete.Instantiate(map[string]int64{"N": 1}); err == nil {
+		t.Error("binding a non-parametric program must fail")
+	}
+	if q, err := concrete.Instantiate(nil); err != nil || q != concrete {
+		t.Errorf("identity instantiation: %v", err)
+	}
+}
+
+func TestValidateParametric(t *testing.T) {
+	p := parametricVec()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// A loop variable shadowing a parameter is rejected.
+	bad := NewProgram("bad")
+	n := bad.NewParam("N")
+	A := bad.NewArrayP("A", ElemFloat64, X(n))
+	bad.Add(For(V("N"), C(0), X(n), Stmt("S0", Read(A, X(V("N"))))))
+	if err := bad.Validate(); err == nil {
+		t.Error("loop variable shadowing a parameter accepted")
+	}
+	// Extents over undeclared names are rejected.
+	bad2 := NewProgram("bad2")
+	B := bad2.NewArrayP("B", ElemFloat64, X(V("M")))
+	bad2.Add(For(V("i"), C(0), C(4), Stmt("S0", Read(B, X(V("i"))))))
+	if err := bad2.Validate(); err == nil {
+		t.Error("extent over undeclared parameter accepted")
+	}
+	// Duplicate parameters are rejected.
+	dup := NewProgram("dup")
+	dup.NewParam("N")
+	dup.NewParam("N")
+	a := dup.NewArray("A", ElemFloat64, 4)
+	dup.Add(For(V("i"), C(0), C(4), Stmt("S0", Read(a, X(V("i"))))))
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate parameter accepted")
+	}
+}
+
+func TestCompileRejectsParametric(t *testing.T) {
+	p := parametricVec()
+	layout := NewLayout(p, LayoutPadded, 64)
+	if _, err := Compile(p, layout); err == nil {
+		t.Fatal("Compile accepted a parametric program")
+	}
+}
+
+func TestBuildPolyParametricSpaces(t *testing.T) {
+	p := parametricVec()
+	info, err := BuildPoly(p)
+	if err != nil {
+		t.Fatalf("BuildPoly: %v", err)
+	}
+	if info.NParam() != 1 || info.Params[0] != "N" {
+		t.Fatalf("params %v", info.Params)
+	}
+	ps := info.Statements[0]
+	if ps.Space.NParam != 1 || ps.Space.Dims[0] != "N" {
+		t.Fatalf("statement space %v", ps.Space)
+	}
+	if got := info.ScheduleSpace(); got.NParam != 1 || got.Dims[0] != "N" {
+		t.Fatalf("schedule space %v", got)
+	}
+	// The domain is the parametric triangle {(N, i, a) : 1 <= N, 0 <= i < N,
+	// a = 0}: spot-check membership at a few points.
+	dom := ps.Domain
+	for _, tc := range []struct {
+		point []int64
+		in    bool
+	}{
+		{[]int64{4, 0, 0}, true},
+		{[]int64{4, 3, 0}, true},
+		{[]int64{4, 4, 0}, false},
+		{[]int64{0, 0, 0}, false},
+	} {
+		if got := dom.Contains(tc.point); got != tc.in {
+			t.Errorf("domain contains %v = %v, want %v", tc.point, got, tc.in)
+		}
+	}
+}
+
+func TestExprBind(t *testing.T) {
+	e := X(V("N")).Scale(3).Plus(X(V("i"))).Plus(C(2))
+	b := e.Bind(map[string]int64{"N": 4})
+	if v, ok := b.IsConstant(); ok || v != 0 {
+		if b.Coeffs["i"] != 1 || b.Const != 14 {
+			t.Fatalf("bound expr %v", b)
+		}
+	}
+	full := b.Bind(map[string]int64{"i": 1})
+	if v, ok := full.IsConstant(); !ok || v != 15 {
+		t.Fatalf("fully bound expr %v", full)
+	}
+}

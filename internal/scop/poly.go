@@ -10,6 +10,11 @@ import (
 // are mapped into.
 const ScheduleSpaceName = "Sched"
 
+// ParamSpaceName is the name of the parameter space of a parametric program:
+// the space the parametric cardinalities (total accesses, compulsory and
+// capacity misses) live in.
+const ParamSpaceName = "Params"
+
 // PolyInfo is the polyhedral description of a program: the iteration domain,
 // the schedule, and the access maps of every statement, in the form consumed
 // by the cache model (section 2.4 of the paper).
@@ -18,19 +23,40 @@ const ScheduleSpaceName = "Sched"
 // dimension "a" that orders the memory accesses within one statement
 // execution, as described in section 3.1 ("multiple memory accesses per
 // statement").
+//
+// For a parametric program, every space of the description (statement
+// instance spaces, the schedule space, and the array spaces) additionally
+// carries the program parameters as leading dimensions marked with
+// presburger.Space.NParam. Every map of the description relates only tuples
+// with equal parameter values, so compositions and lexicographic optima
+// treat the parameters as fixed-but-unknown and the derived cardinalities
+// stay symbolic in them.
 type PolyInfo struct {
 	Program    *Program
 	Statements []*PolyStatement
-	// ScheduleDim is the dimensionality of the common schedule space:
-	// 2*maxdepth+1 position/loop dimensions plus one access dimension.
+	// ScheduleDim is the dimensionality of the common schedule space
+	// excluding parameter dimensions: 2*maxdepth+1 position/loop dimensions
+	// plus one access dimension.
 	ScheduleDim int
+	// Params are the program parameters, in the order they appear as leading
+	// dimensions of every space of the description.
+	Params []string
+}
+
+// NParam returns the number of program parameters.
+func (info *PolyInfo) NParam() int { return len(info.Params) }
+
+// ParamSpace returns the parameter space of the program: one dimension per
+// program parameter, all of them marked parametric.
+func (info *PolyInfo) ParamSpace() presburger.Space {
+	return presburger.NewParamSpace(ParamSpaceName, len(info.Params), info.Params...)
 }
 
 // PolyStatement is the polyhedral description of one statement.
 type PolyStatement struct {
 	Name     string
 	Instance *StatementInstance
-	Space    presburger.Space // statement instance space: loop vars + "a"
+	Space    presburger.Space // statement instance space: params + loop vars + "a"
 	Domain   presburger.Set
 	Schedule presburger.Map // instance space -> schedule space
 	// Position is the sibling index path of the statement in the loop tree
@@ -76,19 +102,21 @@ func BuildPoly(p *Program) (*PolyInfo, error) {
 		}
 	}
 	schedDim := 2*maxDepth + 1 + 1 // interleaving/loop dims + access dim
-	info := &PolyInfo{Program: p, Statements: stmts, ScheduleDim: schedDim}
+	info := &PolyInfo{Program: p, Statements: stmts, ScheduleDim: schedDim,
+		Params: append([]string(nil), p.Params...)}
 	for _, ps := range stmts {
-		if err := buildStatement(ps, schedDim); err != nil {
+		if err := buildStatement(ps, schedDim, info.Params, p.Context); err != nil {
 			return nil, err
 		}
 	}
 	return info, nil
 }
 
-// exprToVec converts an affine expression over the statement's loop
-// variables into a column vector over the statement space columns
-// [const, loopvars..., a] with the given total width.
-func exprToVec(e Expr, loopVars []string, width int) (presburger.Vec, error) {
+// exprToVec converts an affine expression over the program parameters and
+// the statement's loop variables into a column vector over the statement
+// space columns [const, params..., loopvars..., a] with the given total
+// width.
+func exprToVec(e Expr, params, loopVars []string, width int) (presburger.Vec, error) {
 	v := presburger.NewVec(width)
 	v[0] = e.Const
 	for name, c := range e.Coeffs {
@@ -96,9 +124,19 @@ func exprToVec(e Expr, loopVars []string, width int) (presburger.Vec, error) {
 			continue
 		}
 		found := false
+		for i, pn := range params {
+			if pn == name {
+				v[1+i] += c
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
 		for i, lv := range loopVars {
 			if lv == name {
-				v[1+i] += c
+				v[1+len(params)+i] += c
 				found = true
 				break
 			}
@@ -110,20 +148,43 @@ func exprToVec(e Expr, loopVars []string, width int) (presburger.Vec, error) {
 	return v, nil
 }
 
-func buildStatement(ps *PolyStatement, schedDim int) error {
+// paramEqualities adds out-param == in-param constraints for every parameter
+// dimension of a universe basic map whose input space has nIn total
+// dimensions.
+func paramEqualities(bm presburger.BasicMap, nParam, nIn int) presburger.BasicMap {
+	w := bm.NCols()
+	for i := 0; i < nParam; i++ {
+		c := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
+		c.C[1+i] = -1
+		c.C[1+nIn+i] = 1
+		bm = bm.AddConstraint(c)
+	}
+	return bm
+}
+
+func buildStatement(ps *PolyStatement, schedDim int, params []string, context []Expr) error {
 	inst := ps.Instance
 	loopVars := inst.LoopVars()
-	dims := append(append([]string(nil), loopVars...), "a")
-	ps.Space = presburger.NewSpace(ps.Name, dims...)
+	nP := len(params)
+	dims := append(append(append([]string(nil), params...), loopVars...), "a")
+	ps.Space = presburger.NewParamSpace(ps.Name, nP, dims...)
 
-	// Iteration domain: loop bounds plus the access dimension range.
+	// Iteration domain: context constraints over the parameters, loop bounds,
+	// and the access dimension range.
 	bs := presburger.UniverseBasicSet(ps.Space)
 	width := bs.NCols()
+	for _, ctx := range context {
+		cv, err := exprToVec(ctx, params, loopVars, width)
+		if err != nil {
+			return err
+		}
+		bs = bs.AddConstraint(presburger.Constraint{C: cv})
+	}
 	for i, loop := range inst.Loops {
 		lowers := append([]Expr{loop.Lower}, loop.ExtraLower...)
 		uppers := append([]Expr{loop.Upper}, loop.ExtraUpper...)
 		for _, le := range lowers {
-			lower, err := exprToVec(le, loopVars, width)
+			lower, err := exprToVec(le, params, loopVars, width)
 			if err != nil {
 				return err
 			}
@@ -132,11 +193,11 @@ func buildStatement(ps *PolyStatement, schedDim int) error {
 			for j := range lo {
 				lo[j] = -lower[j]
 			}
-			lo[1+i]++
+			lo[1+nP+i]++
 			bs = bs.AddConstraint(presburger.Constraint{C: lo})
 		}
 		for _, ue := range uppers {
-			upper, err := exprToVec(ue, loopVars, width)
+			upper, err := exprToVec(ue, params, loopVars, width)
 			if err != nil {
 				return err
 			}
@@ -144,12 +205,12 @@ func buildStatement(ps *PolyStatement, schedDim int) error {
 			hi := presburger.NewVec(width)
 			copy(hi, upper)
 			hi[0]--
-			hi[1+i]--
+			hi[1+nP+i]--
 			bs = bs.AddConstraint(presburger.Constraint{C: hi})
 		}
 	}
 	nAcc := int64(len(inst.Statement.Accesses))
-	aCol := 1 + len(loopVars)
+	aCol := 1 + nP + len(loopVars)
 	loA := presburger.NewVec(width)
 	loA[aCol] = 1
 	bs = bs.AddConstraint(presburger.Constraint{C: loA})
@@ -159,26 +220,23 @@ func buildStatement(ps *PolyStatement, schedDim int) error {
 	bs = bs.AddConstraint(presburger.Constraint{C: hiA})
 	ps.Domain = presburger.SetFromBasic(bs)
 
-	// Schedule: (pos0, v1, pos1, v2, ..., vd, posd, 0..., a).
-	schedDims := make([]string, schedDim)
-	for i := range schedDims {
-		schedDims[i] = fmt.Sprintf("t%d", i)
-	}
-	schedDims[schedDim-1] = "acc"
-	schedSpace := presburger.NewSpace(ScheduleSpaceName, schedDims...)
+	// Schedule: params are forwarded unchanged, the real schedule tuple is
+	// (pos0, v1, pos1, v2, ..., vd, posd, 0..., a).
+	schedSpace := scheduleSpace(schedDim, params)
 	bm := presburger.UniverseBasicMap(ps.Space, schedSpace)
-	w := bm.NCols()
 	nIn := len(dims)
+	bm = paramEqualities(bm, nP, nIn)
+	w := bm.NCols()
 	eqConst := func(outDim int, value int64) {
 		c := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
 		c.C[0] = -value
-		c.C[1+nIn+outDim] = 1
+		c.C[1+nIn+nP+outDim] = 1
 		bm = bm.AddConstraint(c)
 	}
 	eqInDim := func(outDim, inDim int) {
 		c := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
-		c.C[1+nIn+outDim] = 1
-		c.C[1+inDim] = -1
+		c.C[1+nIn+nP+outDim] = 1
+		c.C[1+nP+inDim] = -1
 		bm = bm.AddConstraint(c)
 	}
 	depth := inst.Depth()
@@ -231,22 +289,25 @@ func (info *PolyInfo) LineAccessMap(lineSize int64) presburger.UnionMap {
 // accessMap builds the access union map; lineSize == 0 selects element
 // granularity.
 func (info *PolyInfo) accessMap(lineSize int64) presburger.UnionMap {
+	nP := info.NParam()
 	u := presburger.NewUnionMap()
 	for _, ps := range info.Statements {
 		loopVars := ps.Instance.LoopVars()
-		nIn := len(loopVars) + 1
-		aCol := 1 + len(loopVars)
+		nIn := nP + len(loopVars) + 1
+		aCol := 1 + nP + len(loopVars)
 		for accIdx, acc := range ps.Instance.Statement.Accesses {
-			rank := len(acc.Array.Dims)
-			outDims := make([]string, rank)
-			for i := range outDims {
-				outDims[i] = fmt.Sprintf("d%d", i)
+			rank := acc.Array.Rank()
+			outDims := make([]string, 0, nP+rank)
+			outDims = append(outDims, info.Params...)
+			for i := 0; i < rank; i++ {
+				outDims = append(outDims, fmt.Sprintf("d%d", i))
 			}
 			if lineSize > 0 {
-				outDims[rank-1] = "line"
+				outDims[len(outDims)-1] = "line"
 			}
-			arrSpace := presburger.NewSpace(acc.Array.Name, outDims...)
+			arrSpace := presburger.NewParamSpace(acc.Array.Name, nP, outDims...)
 			bm := presburger.UniverseBasicMap(ps.Space, arrSpace)
+			bm = paramEqualities(bm, nP, nIn)
 			w := bm.NCols()
 			// a == accIdx
 			ceq := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
@@ -254,12 +315,12 @@ func (info *PolyInfo) accessMap(lineSize int64) presburger.UnionMap {
 			ceq.C[0] = -int64(accIdx)
 			bm = bm.AddConstraint(ceq)
 			for d := 0; d < rank; d++ {
-				idxVec, err := exprToVec(acc.Index[d], loopVars, w)
+				idxVec, err := exprToVec(acc.Index[d], info.Params, loopVars, w)
 				if err != nil {
 					// Validate() has already been run; this cannot happen.
 					panic(err)
 				}
-				outCol := 1 + nIn + d
+				outCol := 1 + nIn + nP + d
 				if lineSize == 0 || d < rank-1 {
 					// out_d == subscript_d
 					c := presburger.Constraint{C: presburger.NewVec(w), Eq: true}
@@ -294,14 +355,21 @@ func (info *PolyInfo) accessMap(lineSize int64) presburger.UnionMap {
 	return u
 }
 
+// scheduleSpace builds the common schedule space: the program parameters
+// followed by schedDim real schedule dimensions.
+func scheduleSpace(schedDim int, params []string) presburger.Space {
+	dims := make([]string, 0, len(params)+schedDim)
+	dims = append(dims, params...)
+	for i := 0; i < schedDim; i++ {
+		dims = append(dims, fmt.Sprintf("t%d", i))
+	}
+	dims[len(dims)-1] = "acc"
+	return presburger.NewParamSpace(ScheduleSpaceName, len(params), dims...)
+}
+
 // ScheduleSpace returns the common schedule space of the program.
 func (info *PolyInfo) ScheduleSpace() presburger.Space {
-	dims := make([]string, info.ScheduleDim)
-	for i := range dims {
-		dims[i] = fmt.Sprintf("t%d", i)
-	}
-	dims[info.ScheduleDim-1] = "acc"
-	return presburger.NewSpace(ScheduleSpaceName, dims...)
+	return scheduleSpace(info.ScheduleDim, info.Params)
 }
 
 // StatementByName returns the polyhedral statement with the given name.

@@ -32,6 +32,11 @@ func NewLayout(p *Program, kind LayoutKind, lineSize int64) *Layout {
 	next := int64(0)
 	align := func(v, a int64) int64 { return ints.CeilDiv(v, a) * a }
 	for _, a := range p.Arrays {
+		if a.IsParametric() {
+			// Parametric arrays have no concrete footprint; Compile rejects
+			// the program before the layout is consulted.
+			continue
+		}
 		strides := make([]int64, len(a.Dims))
 		rowBytes := a.Elem * a.Dims[len(a.Dims)-1]
 		if kind == LayoutPadded {
@@ -131,6 +136,9 @@ type CompiledProgram struct {
 func Compile(p *Program, layout *Layout) (*CompiledProgram, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if p.IsParametric() {
+		return nil, fmt.Errorf("scop: cannot replay parametric program %s (instantiate it first)", p.Name)
 	}
 	cp := &CompiledProgram{prog: p, slots: map[string]int{}}
 	// Assign slots to loop variables in order of first appearance.
