@@ -67,6 +67,21 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 	}
 	workers := effectiveParallelism(cc.opts.Parallelism)
 	results := make([][]int64, len(items))
+	// Schedule the pieces hardest-first (non-affine polynomials and busy
+	// domains cost orders of magnitude more than affine ones), so the pool
+	// does not stall on one giant piece picked up last. The permutation only
+	// affects execution order: results land at their item index and the
+	// accumulation below walks items in canonical order, so totals are
+	// bit-identical for every worker count.
+	weights := make([]int, len(items))
+	for i, it := range items {
+		w := len(it.piece.Domain.Constraints()) + 2*len(it.piece.Domain.Divs())
+		if it.piece.Poly.Degree() > 1 {
+			w += 1000 * len(it.piece.Poly.Terms)
+		}
+		weights[i] = w
+	}
+	order := parwork.HardestFirst(weights)
 	// Every worker counts through its own capacityCounter so the pool never
 	// contends on statistics; the per-worker Stats are merged below.
 	workerStats := make([]Stats, workers)
@@ -75,7 +90,8 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 		workerStats[w].NonAffineByAffineDims = map[int]int{}
 		counters[w] = &capacityCounter{opts: cc.opts, stats: &workerStats[w]}
 	}
-	workerTimes, err := parwork.RunTimed(len(items), workers, func(worker, idx int) error {
+	workerTimes, err := parwork.RunTimed(len(items), workers, func(worker, scheduled int) error {
+		idx := order[scheduled]
 		counts, err := counters[worker].countPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines, true)
 		if err != nil {
 			return fmt.Errorf("core: counting capacity misses of %s: %w", distances[items[idx].stmt].Statement, err)

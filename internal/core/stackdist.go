@@ -156,8 +156,45 @@ func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs 
 			items = append(items, &cardItem{name: name, m: m})
 		}
 	}
-	err = parwork.Run(len(items), workers, func(idx int) error {
+	// Schedule the counting hardest-first (most basic maps, then most
+	// constraints): the giant triangular-update maps dominate the wall
+	// clock, and a pool that picks them up last stalls on one worker while
+	// the rest idle. The schedule only permutes execution order — items are
+	// addressed through `order`, results land in their item, and the fold
+	// below walks `items` in canonical order — so results are bit-identical
+	// for every worker count.
+	weight := func(m presburger.Map) int {
+		w := 0
+		for _, bm := range m.Basics() {
+			w += 8 + len(bm.Constraints()) + 2*len(bm.Divs())
+		}
+		return w
+	}
+	weights := make([]int, len(items))
+	for i, it := range items {
+		weights[i] = weight(it.m)
+	}
+	order := parwork.HardestFirst(weights)
+	// Structurally identical maps (symmetric accesses produce them) are
+	// counted once: the first item of each identity class computes the card,
+	// the rest copy it.
+	leader := make([]int, len(items))
+	byKey := map[string]int{}
+	for _, idx := range order {
+		key := items[idx].m.String()
+		if first, ok := byKey[key]; ok {
+			leader[idx] = first
+		} else {
+			byKey[key] = idx
+			leader[idx] = idx
+		}
+	}
+	err = parwork.Run(len(items), workers, func(scheduled int) error {
+		idx := order[scheduled]
 		it := items[idx]
+		if leader[idx] != idx {
+			return nil // copied after the pool drains
+		}
 		card, err := counting.MapCard(simplifyMap(it.m, fs))
 		if err != nil {
 			return fmt.Errorf("core: counting touched lines for %s -> %s: %w", it.name, it.m.OutSpace().Name, err)
@@ -167,6 +204,11 @@ func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs 
 	})
 	if err != nil {
 		return nil, err
+	}
+	for idx, l := range leader {
+		if l != idx {
+			items[idx].card = items[l].card
+		}
 	}
 	totals := make(map[string]qpoly.PwQPoly, len(names))
 	for _, name := range names {

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"haystack/internal/polybench"
+)
+
+// BenchmarkSymbolicPolyBench measures the full analysis pipeline (stack
+// distances, compulsory misses, capacity counting) for every registered
+// PolyBench kernel at MINI on one core, under the same options as the
+// conformance tier. A kernel that leaves the symbolic fragment and answers
+// from the exact trace profile instead (adi's lexmin does) reports a
+// fallback metric of 1, so provenance stays visible in the numbers. CI runs
+// the benchmark with -benchtime 1x and uploads the per-kernel wall times as
+// a workflow artifact, so symbolic-tractability regressions show up as
+// numbers on the run, not as a timed-out conformance tier three steps
+// later.
+func BenchmarkSymbolicPolyBench(b *testing.B) {
+	cfg := DefaultConfig()
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	for _, k := range polybench.Kernels() {
+		k := k
+		b.Run(k.Name, func(b *testing.B) {
+			prog := k.Build(polybench.Mini)
+			fallback := 0.0
+			for i := 0; i < b.N; i++ {
+				res, err := Analyze(prog, cfg, opts)
+				if err != nil {
+					b.Fatalf("Analyze: %v", err)
+				}
+				if res.UsedTraceFallback {
+					fallback = 1
+				}
+			}
+			b.ReportMetric(fallback, "fallback")
+		})
+	}
+}

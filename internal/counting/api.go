@@ -159,15 +159,19 @@ func MapCard(m presburger.Map) (qpoly.PwQPoly, error) {
 	if err != nil {
 		return qpoly.PwQPoly{}, err
 	}
-	total := qpoly.ZeroPw(m.InSpace())
+	cards := make([]qpoly.PwQPoly, 0, len(disjoint))
 	for _, bm := range disjoint {
 		card, err := CardBasicMap(bm)
 		if err != nil {
 			return qpoly.PwQPoly{}, err
 		}
-		total = total.Add(card)
+		cards = append(cards, card)
 	}
-	return total, nil
+	// The per-basic-map cards overlap only where their domains can: the
+	// partitioned fold concatenates provably disjoint chambers (different
+	// access ids, different boundary wedges) and pays the quadratic
+	// disjointness fold only within a chamber.
+	return qpoly.MergeDisjointSum(m.InSpace(), cards), nil
 }
 
 // CountMapPairs returns the exact number of distinct relation pairs of the

@@ -55,10 +55,44 @@ func CardBasicSetSummands(bs presburger.BasicSet, nParam int, paramSpace presbur
 	if paramSpace.Dim() != nParam {
 		panic("counting: parameter space arity mismatch")
 	}
-	sys := newSystem(bs, nParam)
+	// Every surviving (lower, upper) bound pair of a summed dimension fans
+	// out into its own system, and every div-referenced dimension residue
+	// splits, so redundant bounds and orphaned divs multiply the work.
+	// Dropping them first is exact and routinely an order of magnitude on
+	// the subtraction-derived pieces of the cache model.
+	trimmed, ok := bs.RemoveRedundancies()
+	if !ok {
+		return qpoly.ZeroSum(paramSpace), nil
+	}
+	sys := newSystem(trimmed, nParam)
 	systems := []*system{sys}
 	processed := 0
+	// Sum the counted dimensions in a fan-out-minimizing order: every
+	// (lower, upper) bound pair and every residue class of a floor split
+	// multiplies the system count, so dimensions that are pinned by an
+	// equality or floor-free go first. Summation over integer points is
+	// order independent, and the scoring is deterministic, so the result is
+	// exact and reproducible. The fixed innermost-first order forced, e.g.,
+	// the cache-line dimension of a triangular access to residue-split the
+	// array dimension 8 ways before the cheap equality elimination could run.
+	remaining := make([]int, 0, bs.NDim()-nParam)
 	for dim := bs.NDim() - 1; dim >= nParam; dim-- {
+		remaining = append(remaining, dim)
+	}
+	for len(remaining) > 0 {
+		pick := 0
+		best := int64(-1)
+		for i, dim := range remaining {
+			score := int64(0)
+			for _, s := range systems {
+				score += s.fanOutEstimate(dim)
+			}
+			if best < 0 || score < best {
+				best, pick = score, i
+			}
+		}
+		dim := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
 		var next []*system
 		for _, s := range systems {
 			out, err := s.sumOutDim(dim)
@@ -85,6 +119,9 @@ func CardBasicSetSummands(bs presburger.BasicSet, nParam int, paramSpace presbur
 		piece, err := s.toPiece(paramSpace)
 		if err != nil {
 			return qpoly.PwSum{}, err
+		}
+		if piece.Poly.IsZero() {
+			continue // empty or zero-count piece
 		}
 		// The sum is uniquely owned here; append in place instead of paying
 		// Add's defensive copy once per system.
@@ -145,6 +182,15 @@ func (s *system) toPiece(paramSpace presburger.Space) (qpoly.Piece, error) {
 		cons[i] = presburger.Constraint{C: cv, Eq: c.Eq}
 	}
 	domain := presburger.NewBasicSet(paramSpace, divs, cons)
+	// Normalize the domain: constant divs fold away, residue-split leftovers
+	// like 63 >= 0 drop, and div numerators gcd-reduce — the canonical shape
+	// the piecewise layer needs to recognize equal and disjoint domains. An
+	// empty domain yields an explicit zero piece the caller skips.
+	if simplified, ok := domain.Simplify(); ok {
+		domain = simplified
+	} else {
+		return qpoly.Piece{Domain: domain, Poly: qpoly.Zero(poly.NVar)}, nil
+	}
 	return qpoly.Piece{Domain: domain, Poly: poly}, nil
 }
 

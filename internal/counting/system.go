@@ -136,6 +136,75 @@ func (s *system) usesDim(dim int) bool {
 	return false
 }
 
+// fanOutEstimate scores how many sub-systems summing out dim is expected to
+// produce: the residue period of the floors that depend on it times the
+// number of (lower, upper) bound pairs. Dimensions eliminable through an
+// equality (and free of floor dependence) score 1. The estimate steers the
+// summation order; it never affects correctness.
+func (s *system) fanOutEstimate(dim int) int64 {
+	col := s.dimCol(dim)
+	var period int64 = 1
+	if s.hasDimDependentFloors(dim) {
+		for _, d := range s.divs {
+			if d.Num.Resized(s.ncols())[col] != 0 {
+				period = ints.LCM(period, d.Den)
+			}
+		}
+		for _, a := range s.poly.Atoms {
+			if 1+dim < len(a.Num) && a.Num[1+dim] != 0 {
+				period = ints.LCM(period, a.Den)
+			}
+		}
+		if period == 1 {
+			period = 8 // transitive floor dependence: several split rounds
+		}
+	}
+	var lowers, uppers int64
+	penalty := int64(1)
+	hasEq := false
+	for _, c := range s.cons {
+		cc := c.C.Resized(s.ncols())
+		a := cc[col]
+		switch {
+		case a == 0:
+			continue
+		case c.Eq:
+			hasEq = true
+		case a > 0:
+			lowers++
+		default:
+			uppers++
+		}
+		if c.Eq || a == 1 || a == -1 {
+			continue
+		}
+		// A non-unit bound becomes a floor expression of the surviving
+		// dimensions when the sum telescopes. If the bound couples another
+		// counted dimension, that dimension will residue-split by roughly
+		// |a| classes when its own turn comes — weigh the full factor. A
+		// floor over parameters only is harmless (parameters are never
+		// summed), but still worth losing ties over.
+		w := int64(2)
+		for d := s.nParam; d < s.ndim; d++ {
+			if d != dim && cc[s.dimCol(d)] != 0 {
+				w = ints.Abs(a)
+				break
+			}
+		}
+		if penalty < 1<<20 {
+			penalty *= w
+		}
+	}
+	if hasEq && period == 1 {
+		return 1
+	}
+	pairs := lowers * uppers
+	if hasEq || pairs == 0 {
+		pairs = 1
+	}
+	return period * pairs * penalty
+}
+
 // divDependsOnDim reports, per div, whether its numerator references the
 // dimension directly or through another div.
 func (s *system) divDependsOnDim(dim int) []bool {

@@ -33,7 +33,26 @@ func MapLexmin(m presburger.Map) (presburger.Map, error) { return MapLexminWith(
 // maps are independent; only their combination is order dependent (ties go
 // to the earlier relation), so the combining fold stays sequential in the
 // original order and the result is bit-identical for every worker count.
+//
+// The combination is domain partitioned: candidates whose domains provably
+// never overlap (different statements of a schedule space pin different
+// constant dimensions) are folded in independent chambers and the chamber
+// results are concatenated. Cross-chamber combineMin calls would degenerate
+// to plain unions, so skipping them changes nothing semantically while
+// removing the all-pairs subtraction cascade that made triangular kernels
+// intractable.
 func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
+	return mapLexmin(m, workers, true)
+}
+
+// mapLexminFlat is MapLexminWith without the domain partitioning: every
+// candidate folds into one accumulated relation. Kept as the reference
+// implementation for differential tests.
+func mapLexminFlat(m presburger.Map, workers int) (presburger.Map, error) {
+	return mapLexmin(m, workers, false)
+}
+
+func mapLexmin(m presburger.Map, workers int, partition bool) (presburger.Map, error) {
 	bms := m.Basics()
 	perBasic := make([][]presburger.BasicMap, len(bms))
 	err := parwork.Run(len(bms), workers, func(idx int) error {
@@ -47,8 +66,7 @@ func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
 	if err != nil {
 		return presburger.Map{}, err
 	}
-	result := presburger.EmptyMap(m.InSpace(), m.OutSpace())
-	first := true
+	var candidates []presburger.Map
 	for _, pieces := range perBasic {
 		if len(pieces) == 0 {
 			continue
@@ -57,9 +75,39 @@ func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
 		if len(candidate.Basics()) == 0 {
 			continue
 		}
+		candidates = append(candidates, candidate)
+	}
+	groups := [][]presburger.Map{candidates}
+	if partition {
+		groups = partitionByDomain(candidates)
+	}
+	result := presburger.EmptyMap(m.InSpace(), m.OutSpace())
+	first := true
+	for _, group := range groups {
+		folded, err := foldMin(group)
+		if err != nil {
+			return presburger.Map{}, err
+		}
+		if len(folded.Basics()) == 0 {
+			continue
+		}
 		if first {
-			result = candidate
+			result = folded
 			first = false
+			continue
+		}
+		result = result.Union(folded)
+	}
+	return result, nil
+}
+
+// foldMin combines the candidates of one chamber in their original order
+// (ties go to the earlier relation).
+func foldMin(group []presburger.Map) (presburger.Map, error) {
+	var result presburger.Map
+	for i, candidate := range group {
+		if i == 0 {
+			result = candidate
 			continue
 		}
 		combined, err := combineMin(result, candidate)
@@ -69,6 +117,53 @@ func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
 		result = combined
 	}
 	return result, nil
+}
+
+// pinSig records, for one basic map of a candidate, which input dimensions
+// are pinned to constants by its constraints (the form statement constants
+// of a schedule space take).
+type pinSig struct {
+	pinned []bool
+	pins   []int64
+}
+
+// partitionByDomain groups the candidates into chambers whose domains can
+// overlap; candidates in different chambers are provably disjoint (every
+// basic-map pair across them disagrees on an input dimension both pin).
+// The partition is conservative (a pair that cannot cheaply be separated
+// lands in the same chamber, which only costs combineMin work) and
+// deterministic: chambers are ordered by their smallest candidate index and
+// keep the original candidate order.
+func partitionByDomain(candidates []presburger.Map) [][]presburger.Map {
+	n := len(candidates)
+	if n <= 1 {
+		return [][]presburger.Map{candidates}
+	}
+	sigs := make([][]pinSig, n)
+	for i, c := range candidates {
+		for _, bm := range c.Basics() {
+			pinned, pins := bm.PinnedInputDims()
+			sigs[i] = append(sigs[i], pinSig{pinned, pins})
+		}
+	}
+	mayOverlap := func(i, j int) bool {
+		for _, sa := range sigs[i] {
+			for _, sb := range sigs[j] {
+				if !presburger.PinsSeparate(sa.pinned, sa.pins, sb.pinned, sb.pins) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	idxGroups := presburger.GroupDisjoint(n, mayOverlap)
+	groups := make([][]presburger.Map, len(idxGroups))
+	for gi, idxs := range idxGroups {
+		for _, i := range idxs {
+			groups[gi] = append(groups[gi], candidates[i])
+		}
+	}
+	return groups
 }
 
 // MapLexmax returns the relation mapping every input point to the
@@ -254,6 +349,12 @@ func remapProjVec(v presburger.Vec, projDims, pieceNCols int, divMap []int) pres
 // combineMin combines two single-valued relations into their pointwise
 // lexicographic minimum: where only one is defined it is used, where both
 // are defined the smaller output wins (ties go to the first relation).
+//
+// The expensive comparison machinery (composition with LexLT, intersection,
+// domain subtraction) only runs on the overlap of the two domains: outside
+// it each relation passes through unchanged. Triangular kernels overlap only
+// in thin boundary wedges, so this keeps the case analysis proportional to
+// the boundary instead of the whole domains.
 func combineMin(f, g presburger.Map) (presburger.Map, error) {
 	space := f.OutSpace()
 	fDom, err := f.Domain()
@@ -264,34 +365,39 @@ func combineMin(f, g presburger.Map) (presburger.Map, error) {
 	if err != nil {
 		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}
+	overlap := fDom.Intersect(gDom)
+	if overlap.DefinitelyEmpty() {
+		return pruneEmpty(f.Union(g)), nil
+	}
 	fOnly := f.IntersectDomain(fDom.Subtract(gDom))
 	gOnly := g.IntersectDomain(gDom.Subtract(fDom))
+	fOv := f.IntersectDomain(overlap)
+	gOv := g.IntersectDomain(overlap)
 
 	lexLT := presburger.LexLT(space)
 	// f wins where f(x) < g(x): inputs for which some output of g is
 	// lexicographically larger than f(x).
-	fSmaller, err := f.ApplyRange(lexLT)
+	fSmaller, err := fOv.ApplyRange(lexLT)
 	if err != nil {
 		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}
-	fWinsDom, err := fSmaller.Intersect(g).Domain()
+	fWinsDom, err := fSmaller.Intersect(gOv).Domain()
 	if err != nil {
 		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}
-	gSmaller, err := g.ApplyRange(lexLT)
+	gSmaller, err := gOv.ApplyRange(lexLT)
 	if err != nil {
 		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}
-	gWinsDom, err := gSmaller.Intersect(f).Domain()
+	gWinsDom, err := gSmaller.Intersect(fOv).Domain()
 	if err != nil {
 		return presburger.Map{}, fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}
 	// Ties: both defined and equal outputs; keep f there. The tie domain is
 	// the overlap minus both win domains.
-	overlap := fDom.Intersect(gDom)
 	tieDom := overlap.Subtract(fWinsDom).Subtract(gWinsDom)
 
-	result := fOnly.Union(gOnly).Union(f.IntersectDomain(fWinsDom)).Union(g.IntersectDomain(gWinsDom)).Union(f.IntersectDomain(tieDom))
+	result := fOnly.Union(gOnly).Union(fOv.IntersectDomain(fWinsDom)).Union(gOv.IntersectDomain(gWinsDom)).Union(fOv.IntersectDomain(tieDom))
 	return pruneEmpty(result), nil
 }
 

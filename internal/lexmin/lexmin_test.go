@@ -286,6 +286,132 @@ func TestLexminUnionRandom(t *testing.T) {
 	}
 }
 
+// differentialCheck computes the lexmin of m along both the domain
+// partitioned path and the flat all-pairs fold and requires both to agree
+// with each other and with brute force, pair for pair.
+func differentialCheck(t *testing.T, trial int, m presburger.Map, nIn int) {
+	t.Helper()
+	part, errP := MapLexmin(m)
+	flat, errF := mapLexminFlat(m, 1)
+	if (errP == nil) != (errF == nil) {
+		t.Fatalf("trial %d: partitioned err=%v, flat err=%v\nmap=%v", trial, errP, errF, m)
+	}
+	if errP != nil {
+		t.Logf("trial %d: fallback (%v)", trial, errP)
+		return
+	}
+	want := bruteLexmin(t, m, nIn)
+	for name, got := range map[string]presburger.Map{"partitioned": part, "flat": flat} {
+		pairs := map[string]string{}
+		err := got.Scan(func(p []int64) error {
+			in := fmt.Sprint(p[:nIn])
+			y := fmt.Sprint(p[nIn:])
+			if prev, ok := pairs[in]; ok && prev != y {
+				return fmt.Errorf("not single-valued at %s: %s and %s", in, prev, y)
+			}
+			pairs[in] = y
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v\nmap=%v", trial, name, err, m)
+		}
+		if len(pairs) != len(want) {
+			t.Fatalf("trial %d (%s): domain size %d, brute force %d\nmap=%v\nresult=%v", trial, name, len(pairs), len(want), m, got)
+		}
+		for in, y := range want {
+			if pairs[in] != fmt.Sprint(y) {
+				t.Fatalf("trial %d (%s): at %s got %s want %v\nmap=%v", trial, name, in, pairs[in], y, m)
+			}
+		}
+	}
+}
+
+// TestLexminPartitionedDifferentialTriangular drives the partitioned and
+// flat combination paths over randomized unions of triangular relations —
+// the family (pinned chamber constants, i <= j wedges) whose all-pairs fold
+// motivated the domain partitioning. Candidates deliberately mix disjoint
+// chambers (different pinned constants) with overlapping wedges inside a
+// chamber so both the partition and the overlap machinery are exercised.
+func TestLexminPartitionedDifferentialTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := presburger.NewSpace("S", "c", "i")
+	o := presburger.NewSpace("T", "j")
+	for trial := 0; trial < 60; trial++ {
+		var bms []presburger.BasicMap
+		nCand := 2 + rng.Intn(3)
+		for c := 0; c < nCand; c++ {
+			bm := presburger.UniverseBasicMap(s, o)
+			w := bm.NCols()
+			// Pin the chamber dimension for roughly two thirds of the
+			// candidates; unpinned candidates overlap every chamber.
+			if rng.Intn(3) > 0 {
+				bm = bm.AddConstraint(eq(w, int64(-rng.Intn(2)), 1, 0, 0))
+			} else {
+				bm = bm.AddConstraint(ineq(w, 0, 1, 0, 0))
+				bm = bm.AddConstraint(ineq(w, 1, -1, 0, 0))
+			}
+			bm = bm.AddConstraint(ineq(w, 0, 0, 1, 0))
+			bm = bm.AddConstraint(ineq(w, 6, 0, -1, 0))
+			// Triangular wedge: j >= i + shift, j bounded above.
+			shift := int64(rng.Intn(3) - 1)
+			bm = bm.AddConstraint(ineq(w, -shift, 0, -1, 1))
+			bm = bm.AddConstraint(ineq(w, int64(5+rng.Intn(4)), 0, 0, -1))
+			if rng.Intn(2) == 0 {
+				bm = bm.AddConstraint(ineq(w, int64(rng.Intn(5)-1), int64(rng.Intn(3)-1), int64(rng.Intn(3)-1), 1))
+			}
+			bms = append(bms, bm)
+		}
+		differentialCheck(t, trial, presburger.MapFromBasics(bms...), 2)
+	}
+}
+
+// TestLexminPartitionedDifferentialDivs drives both combination paths over
+// randomized div-bearing relations (cache-line style floors shared between
+// input and output), the family the previous-access lexmax of the cache
+// model produces.
+func TestLexminPartitionedDifferentialDivs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := presburger.NewSpace("S", "c", "i")
+	o := presburger.NewSpace("T", "i2")
+	for trial := 0; trial < 40; trial++ {
+		var bms []presburger.BasicMap
+		nCand := 1 + rng.Intn(3)
+		for c := 0; c < nCand; c++ {
+			bm := presburger.UniverseBasicMap(s, o)
+			w := bm.NCols()
+			bm = bm.AddConstraint(eq(w, int64(-rng.Intn(2)), 1, 0, 0))
+			bm = bm.AddConstraint(ineq(w, 0, 0, 1, 0))
+			bm = bm.AddConstraint(ineq(w, 11, 0, -1, 0))
+			bm = bm.AddConstraint(ineq(w, 0, 0, 0, 1))
+			bm = bm.AddConstraint(ineq(w, 11, 0, 0, -1))
+			// Same cache line of den 2, 3, or 4: den*e <= i,i2 <= den*e+den-1.
+			den := int64(2 + rng.Intn(3))
+			var col int
+			bm, col = bm.AddDiv(presburger.Vec{0, 0, 1, 0}, den)
+			lo := presburger.NewVec(bm.NCols())
+			lo[2], lo[col] = 1, -den
+			bm = bm.AddConstraint(presburger.Constraint{C: lo})
+			hi := presburger.NewVec(bm.NCols())
+			hi[2], hi[col], hi[0] = -1, den, den-1
+			bm = bm.AddConstraint(presburger.Constraint{C: hi})
+			lo2 := presburger.NewVec(bm.NCols())
+			lo2[3], lo2[col] = 1, -den
+			bm = bm.AddConstraint(presburger.Constraint{C: lo2})
+			hi2 := presburger.NewVec(bm.NCols())
+			hi2[3], hi2[col], hi2[0] = -1, den, den-1
+			bm = bm.AddConstraint(presburger.Constraint{C: hi2})
+			// Forward or backward within the line.
+			if rng.Intn(2) == 0 {
+				bm = bm.AddConstraint(ineq(bm.NCols(), -1, 0, -1, 1))
+			} else {
+				bm = bm.AddConstraint(ineq(bm.NCols(), -1, 0, 1, -1))
+			}
+			bms = append(bms, bm)
+		}
+		differentialCheck(t, trial, presburger.MapFromBasics(bms...), 2)
+	}
+}
+
 func TestLexminWorkerCountDoesNotChangeResult(t *testing.T) {
 	// The parallel per-basic-map fan-out must be invisible: the combined
 	// relation (including its piece structure) has to match the sequential

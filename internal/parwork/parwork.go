@@ -8,6 +8,7 @@
 package parwork
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,21 @@ func Run(n, workers int, fn func(item int) error) error {
 // contention and the coordinator merges them in worker order afterwards.
 func RunTimed(n, workers int, fn func(worker, item int) error) (times []time.Duration, err error) {
 	return run(n, workers, true, fn)
+}
+
+// HardestFirst returns the permutation of 0..len(weights)-1 that orders
+// items by descending weight (stable, so equal weights keep item order).
+// Pools whose items vary by orders of magnitude schedule through it —
+// fn(order[scheduled]) — so a giant item claimed last cannot stall the pool
+// while the other workers idle. The permutation affects execution order
+// only; results stay index-addressed and deterministic.
+func HardestFirst(weights []int) []int {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	return order
 }
 
 func run(n, workers int, timed bool, fn func(worker, item int) error) ([]time.Duration, error) {

@@ -1,0 +1,110 @@
+package polybench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"haystack/internal/core"
+)
+
+// goldenEntry is the checked-in expected result of one kernel at MINI under
+// the default configuration (64-byte lines, 32 KiB and 1 MiB levels).
+type goldenEntry struct {
+	TotalAccesses    int64   `json:"total_accesses"`
+	CompulsoryMisses int64   `json:"compulsory_misses"`
+	TotalMisses      []int64 `json:"total_misses"`
+}
+
+const goldenPath = "testdata/golden_mini.json"
+
+func loadGolden(t *testing.T) map[string]goldenEntry {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture (regenerate with UPDATE_GOLDEN=1 go test ./internal/polybench -run TestGoldenConformance): %v", err)
+	}
+	var golden map[string]goldenEntry
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return golden
+}
+
+// TestGoldenConformance asserts the exact reference engine against the
+// checked-in per-kernel miss counts for all 30 kernels at MINI. The tier
+// costs milliseconds per kernel (trace replay, no symbolic analysis and no
+// cache simulator), so it runs on every push and pins the expected numbers
+// independently of the engines: the symbolic tier asserts Analyze against
+// SimulateReference, this tier asserts SimulateReference against the
+// fixture, so a drift in either engine is caught and attributable.
+//
+// Set UPDATE_GOLDEN=1 to regenerate the fixture after an intentional change
+// (new kernel, changed default configuration).
+func TestGoldenConformance(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		golden := map[string]goldenEntry{}
+		for _, k := range Kernels() {
+			ref, err := core.SimulateReference(k.Build(Mini), cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			golden[k.Name] = goldenEntry{
+				TotalAccesses:    ref.TotalAccesses,
+				CompulsoryMisses: ref.CompulsoryMisses,
+				TotalMisses:      ref.TotalMisses,
+			}
+		}
+		data, err := json.MarshalIndent(golden, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s with %d kernels", goldenPath, len(golden))
+		return
+	}
+	golden := loadGolden(t)
+	names := make([]string, 0, len(golden))
+	for name := range golden {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if got, want := len(Kernels()), len(golden); got != want {
+		t.Errorf("fixture covers %d kernels, registry has %d (regenerate with UPDATE_GOLDEN=1)", want, got)
+	}
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			want, ok := golden[k.Name]
+			if !ok {
+				t.Fatalf("kernel %s missing from %s (regenerate with UPDATE_GOLDEN=1)", k.Name, goldenPath)
+			}
+			ref, err := core.SimulateReference(k.Build(Mini), cfg)
+			if err != nil {
+				t.Fatalf("SimulateReference: %v", err)
+			}
+			if ref.TotalAccesses != want.TotalAccesses {
+				t.Errorf("total accesses: got %d, golden %d", ref.TotalAccesses, want.TotalAccesses)
+			}
+			if ref.CompulsoryMisses != want.CompulsoryMisses {
+				t.Errorf("compulsory misses: got %d, golden %d", ref.CompulsoryMisses, want.CompulsoryMisses)
+			}
+			if len(ref.TotalMisses) != len(want.TotalMisses) {
+				t.Fatalf("level count: got %d, golden %d", len(ref.TotalMisses), len(want.TotalMisses))
+			}
+			for l, m := range ref.TotalMisses {
+				if m != want.TotalMisses[l] {
+					t.Errorf("L%d total misses: got %d, golden %d", l+1, m, want.TotalMisses[l])
+				}
+			}
+		})
+	}
+}

@@ -377,8 +377,14 @@ func impliedByRational(cons []Constraint, c Constraint, ncols int) bool {
 // gives up and reports false (feasible), which is always safe for the
 // callers (they simply skip a merge or keep a constraint).
 func budgetedInfeasible(cons []Constraint, ncols int) bool {
+	if hasDivisibilityContradiction(cons) {
+		return true
+	}
 	for col := ncols - 1; col >= 1; col-- {
 		cons = rationalEliminate(cons, col)
+		if hasDivisibilityContradiction(cons) {
+			return true
+		}
 		if len(cons) > implicationBudget {
 			return false
 		}

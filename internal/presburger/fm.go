@@ -101,11 +101,25 @@ func rationalEliminate(cons []Constraint, col int) []Constraint {
 
 // rationalFeasible reports whether the basic set/map has a rational
 // solution. A false result guarantees integer emptiness; a true result makes
-// no integer claim.
+// no integer claim beyond the divisibility rule below.
+//
+// Every column (dimension or div) holds an integer, so a derived equality
+// g·f + c == 0 whose non-constant coefficients share a factor g that does
+// not divide c is an integer contradiction even when rationally satisfiable.
+// Checking it per elimination round catches the residue-class clashes
+// (x ≡ r₁ and x ≡ r₂ mod m through two different floor divs) that the
+// residue-splitting counting engine and subtraction chains produce by the
+// thousands; purely rational reasoning keeps those pieces alive forever.
 func (b *basic) rationalFeasible() bool {
 	cons := b.materializedConstraints()
+	if hasDivisibilityContradiction(cons) {
+		return false
+	}
 	for col := b.ncols() - 1; col >= 1; col-- {
 		cons = rationalEliminate(cons, col)
+		if hasDivisibilityContradiction(cons) {
+			return false
+		}
 	}
 	for _, c := range cons {
 		if c.Eq && c.C[0] != 0 {
@@ -116,6 +130,25 @@ func (b *basic) rationalFeasible() bool {
 		}
 	}
 	return true
+}
+
+// hasDivisibilityContradiction scans for an equality whose non-constant
+// coefficients share a factor that does not divide the constant term — an
+// integer infeasibility certificate (all columns are integer-valued).
+func hasDivisibilityContradiction(cons []Constraint) bool {
+	for _, c := range cons {
+		if !c.Eq {
+			continue
+		}
+		var g int64
+		for _, x := range c.C[1:] {
+			g = ints.GCD(g, x)
+		}
+		if g > 1 && c.C[0]%g != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // isObviouslyEmpty combines the cheap simplification checks with rational

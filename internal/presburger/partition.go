@@ -1,0 +1,89 @@
+package presburger
+
+// GroupDisjoint partitions the indices 0..n-1 into chambers such that
+// members of different chambers provably cannot interact: indices i and j
+// land in the same chamber exactly when they are connected through pairs
+// for which mayOverlap returned true. mayOverlap must be conservative (true
+// when in doubt) and is only consulted once per unordered pair. Chambers
+// are ordered by their smallest member and preserve index order — the
+// deterministic shape the domain-partitioned folds of the pipeline rely on.
+func GroupDisjoint(n int, mayOverlap func(i, j int) bool) [][]int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if find(i) != find(j) && mayOverlap(i, j) {
+				parent[find(j)] = find(i)
+			}
+		}
+	}
+	order := make(map[int]int, n)
+	var groups [][]int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		gi, ok := order[r]
+		if !ok {
+			gi = len(groups)
+			order[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}
+
+// pinnedFromCons extracts, from a constraint list, the dimensions (columns
+// 1..maxCol) that a single-column equality pins to a constant. It is the
+// shared scan behind BasicSet.PinnedDims and BasicMap.PinnedInputDims.
+func pinnedFromCons(cons []Constraint, maxCol int) (pinned []bool, vals []int64) {
+	pinned = make([]bool, maxCol)
+	vals = make([]int64, maxCol)
+	for _, c := range cons {
+		if !c.Eq {
+			continue
+		}
+		col, cnt := -1, 0
+		for j := 1; j < len(c.C); j++ {
+			if c.C[j] != 0 {
+				col = j
+				cnt++
+			}
+		}
+		if cnt != 1 || col > maxCol {
+			continue
+		}
+		a := c.C[col]
+		if c.C[0]%a != 0 {
+			continue // no integer solution; emptiness is detected elsewhere
+		}
+		pinned[col-1] = true
+		vals[col-1] = -c.C[0] / a
+	}
+	return pinned, vals
+}
+
+// PinsSeparate reports whether two pin signatures disagree on a dimension
+// both pin — the sufficient disjointness condition used by the partitioned
+// folds.
+func PinsSeparate(aPinned []bool, aVals []int64, bPinned []bool, bVals []int64) bool {
+	n := len(aPinned)
+	if len(bPinned) < n {
+		n = len(bPinned)
+	}
+	for d := 0; d < n; d++ {
+		if aPinned[d] && bPinned[d] && aVals[d] != bVals[d] {
+			return true
+		}
+	}
+	return false
+}

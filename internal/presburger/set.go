@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"haystack/internal/ints"
 )
 
 // BasicSet is a conjunction of quasi-affine constraints over the dimensions
@@ -188,6 +190,71 @@ func (bs BasicSet) ProjectOutApprox(first, n int) BasicSet {
 	return out
 }
 
+// StructurallyEqual reports whether the two basic sets have identical
+// dimension counts, div lists, and constraint multisets. Structural equality
+// implies set equality; the converse does not hold.
+func (bs BasicSet) StructurallyEqual(o BasicSet) bool {
+	return basicsEqual(&bs.b, &o.b)
+}
+
+// PinnedDims returns, per dimension, whether an equality constraint pins it
+// to a single constant, together with that constant. Two basic sets that pin
+// the same dimension to different constants are disjoint — the cheap
+// separation test behind the domain-partitioned folds of the pipeline.
+func (bs BasicSet) PinnedDims() (pinned []bool, vals []int64) {
+	return pinnedFromCons(bs.b.cons, bs.b.ndim)
+}
+
+// ConstBounds returns, per dimension, the tightest constant lower and upper
+// bounds derivable from single-dimension constraints (equalities pin both
+// sides). Dimensions without such a bound report has=false. Two basic sets
+// whose constant intervals on some dimension do not intersect are disjoint —
+// a free separation test for the piecewise folds.
+func (bs BasicSet) ConstBounds() (lo, hi []int64, hasLo, hasHi []bool) {
+	n := bs.b.ndim
+	lo, hi = make([]int64, n), make([]int64, n)
+	hasLo, hasHi = make([]bool, n), make([]bool, n)
+	for _, c := range bs.b.cons {
+		col, cnt := -1, 0
+		for j := 1; j < len(c.C); j++ {
+			if c.C[j] != 0 {
+				col = j
+				cnt++
+			}
+		}
+		if cnt != 1 || col > n {
+			continue
+		}
+		d := col - 1
+		a, k := c.C[col], c.C[0]
+		if c.Eq {
+			if k%a != 0 {
+				continue // infeasible; emptiness is detected elsewhere
+			}
+			v := -k / a
+			if !hasLo[d] || v > lo[d] {
+				lo[d], hasLo[d] = v, true
+			}
+			if !hasHi[d] || v < hi[d] {
+				hi[d], hasHi[d] = v, true
+			}
+			continue
+		}
+		if a > 0 {
+			v := ints.CeilDiv(-k, a)
+			if !hasLo[d] || v > lo[d] {
+				lo[d], hasLo[d] = v, true
+			}
+		} else {
+			v := ints.FloorDiv(k, -a)
+			if !hasHi[d] || v < hi[d] {
+				hi[d], hasHi[d] = v, true
+			}
+		}
+	}
+	return lo, hi, hasLo, hasHi
+}
+
 // Simplify normalizes constraints and returns ok=false when the basic set is
 // detected to be empty.
 func (bs BasicSet) Simplify() (BasicSet, bool) {
@@ -237,6 +304,22 @@ func UniverseSet(sp Space) Set {
 // SetFromBasic returns the set containing exactly the given basic set.
 func SetFromBasic(bs BasicSet) Set {
 	return Set{space: bs.space, basics: []BasicSet{bs}}
+}
+
+// SetFromBasics returns the union of the given basic sets, which must share
+// a space.
+func SetFromBasics(bss ...BasicSet) Set {
+	if len(bss) == 0 {
+		panic("presburger: SetFromBasics needs at least one basic set")
+	}
+	s := Set{space: bss[0].space}
+	for _, bs := range bss {
+		if !bs.space.Equal(s.space) {
+			panic("presburger: SetFromBasics space mismatch")
+		}
+		s.basics = append(s.basics, bs)
+	}
+	return s
 }
 
 // Space returns the space of the set.

@@ -28,6 +28,12 @@ func (b *basic) transferDivs(src *basic, dimMap []int) []int {
 // equality produces two pieces. The divs of o are well defined functions of
 // the dimensions, so copying their definitions into each piece preserves
 // exactness.
+//
+// Constraints of o implied by a (and the pieces kept so far) are gisted
+// away: a \ o == a \ gist(o, a), and every dropped constraint is one piece
+// fewer in the difference plus one inherited constraint fewer in all later
+// pieces — subtraction chains are the worst basic-count amplifier of the
+// pipeline, so this is where simplification in context pays the most.
 func subtractBasic(a, o *basic) []basic {
 	simplified := o.clone()
 	if !simplified.simplify() {
@@ -47,7 +53,21 @@ func subtractBasic(a, o *basic) []basic {
 		}
 		return out
 	}
-	for _, c := range simplified.cons {
+	keep := make([]bool, len(simplified.cons))
+	for i := range keep {
+		keep[i] = true
+	}
+	if gistCols := prefix.ncols(); len(prefix.cons)+len(simplified.cons) <= gistMaxCons && gistCols <= gistMaxCols {
+		cands := make([]Constraint, len(simplified.cons))
+		for i, c := range simplified.cons {
+			cands[i] = Constraint{C: remap(&prefix, c.C), Eq: c.Eq}
+		}
+		keep = gistFilter(prefix.materializedConstraints(), gistCols, cands)
+	}
+	for ci, c := range simplified.cons {
+		if !keep[ci] {
+			continue // holds everywhere in a ∧ kept prefix: empty piece
+		}
 		if c.Eq {
 			// piece with e >= 1 and piece with -e >= 1
 			p1 := prefix.clone()

@@ -71,9 +71,22 @@ func (pw PwQPoly) Add(o PwQPoly) PwQPoly {
 		return pw
 	}
 	out := ZeroPw(pw.Space)
-	// Overlaps.
-	for _, a := range pw.Pieces {
-		for _, b := range o.Pieces {
+	sigA := boxSignatures(pw.Pieces)
+	sigB := boxSignatures(o.Pieces)
+	// Overlaps. Pieces whose constant bounding boxes do not intersect are
+	// skipped outright; structurally identical domains (the dominant case
+	// when summing cards of maps derived from the same iteration domain)
+	// take the fast path: the overlap is the domain itself and the
+	// subtractions below are skipped entirely.
+	for i, a := range pw.Pieces {
+		for j, b := range o.Pieces {
+			if sigA[i].disjoint(sigB[j]) {
+				continue
+			}
+			if a.Domain.StructurallyEqual(b.Domain) {
+				out.Pieces = append(out.Pieces, Piece{Domain: a.Domain, Poly: a.Poly.Add(b.Poly)})
+				continue
+			}
 			dom := a.Domain.Intersect(b.Domain)
 			if dom.DefinitelyEmpty() {
 				continue
@@ -82,18 +95,57 @@ func (pw PwQPoly) Add(o PwQPoly) PwQPoly {
 		}
 	}
 	// Parts of a not covered by o, and vice versa.
-	out.Pieces = append(out.Pieces, subtractPieces(pw.Pieces, o.Pieces)...)
-	out.Pieces = append(out.Pieces, subtractPieces(o.Pieces, pw.Pieces)...)
+	out.Pieces = append(out.Pieces, subtractPieces(pw.Pieces, sigA, o.Pieces, sigB)...)
+	out.Pieces = append(out.Pieces, subtractPieces(o.Pieces, sigB, pw.Pieces, sigA)...)
+	return out.CoalescePieces()
+}
+
+// boxSig is the constant bounding box of a piece domain, used as a free
+// pairwise separation test in the piecewise folds.
+type boxSig struct {
+	lo, hi       []int64
+	hasLo, hasHi []bool
+}
+
+func boxSignatures(pieces []Piece) []boxSig {
+	out := make([]boxSig, len(pieces))
+	for i, p := range pieces {
+		lo, hi, hasLo, hasHi := p.Domain.ConstBounds()
+		out[i] = boxSig{lo, hi, hasLo, hasHi}
+	}
 	return out
+}
+
+func (a boxSig) disjoint(b boxSig) bool {
+	n := len(a.lo)
+	if len(b.lo) < n {
+		n = len(b.lo)
+	}
+	for d := 0; d < n; d++ {
+		if a.hasLo[d] && b.hasHi[d] && a.lo[d] > b.hi[d] {
+			return true
+		}
+		if a.hasHi[d] && b.hasLo[d] && a.hi[d] < b.lo[d] {
+			return true
+		}
+	}
+	return false
 }
 
 // subtractPieces returns pieces covering the parts of the domains of `a`
 // that no domain of `b` covers, keeping the polynomials of `a`.
-func subtractPieces(a, b []Piece) []Piece {
+func subtractPieces(a []Piece, sigA []boxSig, b []Piece, sigB []boxSig) []Piece {
 	var out []Piece
-	for _, pa := range a {
+	for i, pa := range a {
 		rest := presburger.SetFromBasic(pa.Domain)
-		for _, pb := range b {
+		for j, pb := range b {
+			if sigA[i].disjoint(sigB[j]) {
+				continue
+			}
+			if pa.Domain.StructurallyEqual(pb.Domain) {
+				rest = presburger.EmptySet(rest.Space())
+				break
+			}
 			rest = rest.Subtract(presburger.SetFromBasic(pb.Domain))
 			if rest.DefinitelyEmpty() {
 				break
@@ -104,6 +156,112 @@ func subtractPieces(a, b []Piece) []Piece {
 				continue
 			}
 			out = append(out, Piece{Domain: bs, Poly: pa.Poly})
+		}
+	}
+	return out
+}
+
+// MergeDisjointSum folds many piecewise quasi-polynomials into one by
+// pointwise addition, exploiting that summands whose piece domains pin some
+// dimension to different constants can never overlap: such summands are
+// placed in different chambers, chamber results are concatenated without any
+// domain algebra, and only the summands within a chamber pay the quadratic
+// disjointness fold of Add (run as a balanced tree so intermediates stay
+// small). The result is identical, as a function, to folding the summands
+// with Add in any order.
+func MergeDisjointSum(sp presburger.Space, cards []PwQPoly) PwQPoly {
+	if len(cards) == 0 {
+		return ZeroPw(sp)
+	}
+	if len(cards) == 1 {
+		return cards[0]
+	}
+	type sig struct {
+		pinned []bool
+		vals   []int64
+	}
+	sigs := make([][]sig, len(cards))
+	for i, c := range cards {
+		for _, p := range c.Pieces {
+			pinned, vals := p.Domain.PinnedDims()
+			sigs[i] = append(sigs[i], sig{pinned, vals})
+		}
+	}
+	mayOverlap := func(i, j int) bool {
+		for _, sa := range sigs[i] {
+			for _, sb := range sigs[j] {
+				if !presburger.PinsSeparate(sa.pinned, sa.vals, sb.pinned, sb.vals) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	idxGroups := presburger.GroupDisjoint(len(cards), mayOverlap)
+	groups := make([][]PwQPoly, len(idxGroups))
+	for gi, idxs := range idxGroups {
+		for _, i := range idxs {
+			groups[gi] = append(groups[gi], cards[i])
+		}
+	}
+	out := ZeroPw(sp)
+	for _, group := range groups {
+		// Balanced fold: pairwise merge rounds keep both operands of every
+		// Add comparably small.
+		for len(group) > 1 {
+			var next []PwQPoly
+			for i := 0; i+1 < len(group); i += 2 {
+				next = append(next, group[i].Add(group[i+1]))
+			}
+			if len(group)%2 == 1 {
+				next = append(next, group[len(group)-1])
+			}
+			group = next
+		}
+		out.Pieces = append(out.Pieces, group[0].Pieces...)
+	}
+	return out
+}
+
+// CoalescePieces merges pieces that carry the same polynomial by coalescing
+// the union of their domains. The slabs piecewise addition produces share
+// their polynomial with many siblings, so without this pass piece counts
+// grow multiplicatively along a chain of Adds. Pieces with distinct
+// polynomials are untouched; coalescing covers exactly the same points, so
+// pairwise disjointness of the piece cover is preserved.
+func (pw PwQPoly) CoalescePieces() PwQPoly {
+	if len(pw.Pieces) <= 1 {
+		return pw
+	}
+	groups := map[string][]int{}
+	var order []string
+	for i, p := range pw.Pieces {
+		k := p.Poly.String()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	if len(order) == len(pw.Pieces) {
+		return pw
+	}
+	out := ZeroPw(pw.Space)
+	for _, k := range order {
+		idxs := groups[k]
+		if len(idxs) == 1 {
+			out.Pieces = append(out.Pieces, pw.Pieces[idxs[0]])
+			continue
+		}
+		basics := make([]presburger.BasicSet, 0, len(idxs))
+		for _, i := range idxs {
+			basics = append(basics, pw.Pieces[i].Domain)
+		}
+		merged := presburger.SetFromBasics(basics...).Coalesce()
+		for _, bs := range merged.Basics() {
+			if bs.DefinitelyEmpty() {
+				continue
+			}
+			out.Pieces = append(out.Pieces, Piece{Domain: bs, Poly: pw.Pieces[idxs[0]].Poly})
 		}
 	}
 	return out

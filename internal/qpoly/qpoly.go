@@ -184,7 +184,123 @@ func (p *QPoly) mergeAtomsFrom(o QPoly) []int {
 	return colMap
 }
 
+// canonicalizeAtoms rewrites the atom table into a canonical form: atoms
+// whose argument is constant (possibly through references to other constant
+// atoms) are folded into plain numbers, and atom numerators whose
+// non-constant coefficients share a factor with the denominator are reduced
+// (floor((8i-16)/64) becomes floor((i-2)/8), by the nested-floor identity
+// floor((g*u+c)/(g*d)) == floor((u+floor(c/g))/d)). Identical atoms are
+// merged. Without this pass, equal quasi-polynomials built along different
+// summation paths keep distinct atom spellings, which defeats the piecewise
+// layer's structural merging.
+func (p QPoly) canonicalizeAtoms() QPoly {
+	if len(p.Atoms) == 0 {
+		return p
+	}
+	out := QPoly{NVar: p.NVar}
+	// For each old atom: either a constant value or an index into out.Atoms.
+	isConst := make([]bool, len(p.Atoms))
+	constVal := make([]int64, len(p.Atoms))
+	amap := make([]int, len(p.Atoms))
+	changed := false
+	for i, a := range p.Atoms {
+		// Rewrite the numerator over [const, vars, out.Atoms...]: references
+		// to folded atoms move into the constant term.
+		num := make([]int64, 1+p.NVar+len(out.Atoms))
+		for j := 0; j < len(a.Num) && j <= p.NVar; j++ {
+			num[j] = a.Num[j]
+		}
+		for j := 1 + p.NVar; j < len(a.Num); j++ {
+			c := a.Num[j]
+			if c == 0 {
+				continue
+			}
+			oi := j - 1 - p.NVar
+			if isConst[oi] {
+				num[0] += c * constVal[oi]
+				changed = true
+			} else {
+				num[1+p.NVar+amap[oi]] += c
+			}
+		}
+		den := a.Den
+		// gcd-reduce the non-constant coefficients against the denominator.
+		g := den
+		for j := 1; j < len(num); j++ {
+			g = ints.GCD(g, num[j])
+		}
+		if g > 1 {
+			for j := 1; j < len(num); j++ {
+				num[j] /= g
+			}
+			num[0] = ints.FloorDiv(num[0], g)
+			den /= g
+			changed = true
+		}
+		nonconst := false
+		for j := 1; j < len(num); j++ {
+			if num[j] != 0 {
+				nonconst = true
+				break
+			}
+		}
+		if !nonconst {
+			isConst[i] = true
+			constVal[i] = ints.FloorDiv(num[0], den)
+			changed = true
+			continue
+		}
+		// A den of 1 after reduction (floor(e/1) == e) is kept as a literal
+		// atom: the table remap below cannot express powers of an affine
+		// form, and Eval and the structural key remain exact either way.
+		// Dedupe against atoms already emitted.
+		cand := Atom{Num: num, Den: den}
+		idx := -1
+		for k, e := range out.Atoms {
+			if e.Den == cand.Den && e.key() == cand.key() {
+				idx = k
+				break
+			}
+		}
+		if idx < 0 {
+			out.Atoms = append(out.Atoms, cand)
+			idx = len(out.Atoms) - 1
+		} else {
+			changed = true
+		}
+		amap[i] = idx
+	}
+	if !changed {
+		return p
+	}
+	ncols := out.ncols()
+	for _, t := range p.Terms {
+		coef := t.Coef
+		pow := make([]int, ncols)
+		for j, e := range t.Pow {
+			if e == 0 {
+				continue
+			}
+			if j < p.NVar {
+				pow[j] = e
+				continue
+			}
+			oi := j - p.NVar
+			if isConst[oi] {
+				for k := 0; k < e; k++ {
+					coef = coef.Mul(ints.RatInt(constVal[oi]))
+				}
+			} else {
+				pow[p.NVar+amap[oi]] += e
+			}
+		}
+		out.Terms = append(out.Terms, Term{Coef: coef, Pow: pow})
+	}
+	return out
+}
+
 func (p QPoly) normalize() QPoly {
+	p = p.canonicalizeAtoms()
 	// Combine terms with identical powers, drop zero terms and unused atoms.
 	powKey := func(pow []int) string {
 		for len(pow) > 0 && pow[len(pow)-1] == 0 {
