@@ -26,6 +26,8 @@ import (
 	"haystack/internal/core"
 	"haystack/internal/polybench"
 	"haystack/internal/report"
+	"haystack/internal/scop"
+	"haystack/internal/scopcheck"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 	noPartial := flag.Bool("no-partial-enumeration", false, "disable partial enumeration of non-affine pieces")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the analysis (stack distances and capacity miss counting; 0 = all cores)")
 	stats := flag.Bool("stats", false, "print extended statistics (coalescing counters and basic-map counts of the distance phase)")
+	check := flag.Bool("check", false, "statically verify the program (scopcheck) and print the findings before the analysis; warnings are reported, errors abort")
 	flag.Parse()
 
 	if *list {
@@ -88,6 +91,10 @@ func main() {
 		if err := prog.CheckBindings(bindings); err != nil {
 			log.Fatal(err)
 		}
+		if *check {
+			runCheck(prog)
+			opts.SkipVerify = true // already verified, skip the silent pre-flight
+		}
 		pm, err := core.ComputeParametricModel(prog, cfg.LineSize, opts)
 		if err != nil {
 			log.Fatalf("parametric analysis failed: %v", err)
@@ -107,7 +114,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err = core.Analyze(k.Build(sz), cfg, opts)
+		prog := k.Build(sz)
+		if *check {
+			runCheck(prog)
+			opts.SkipVerify = true // already verified, skip the silent pre-flight
+		}
+		res, err = core.Analyze(prog, cfg, opts)
 		if err != nil {
 			log.Fatalf("analysis failed: %v", err)
 		}
@@ -144,6 +156,19 @@ func main() {
 		fmt.Printf("coalescing hits: %d dedup, %d subsumed, %d adjacent/extension merges, %d redundant constraints dropped\n",
 			s.CoalesceDedup, s.CoalesceSubsumed, s.CoalesceAdjacent, s.CoalesceRedundantCons)
 	}
+}
+
+// runCheck statically verifies the program, prints every finding, and exits
+// non-zero when the verifier found errors.
+func runCheck(prog *scop.Program) {
+	diags := scopcheck.Check(prog)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if scopcheck.HasErrors(diags) {
+		log.Fatalf("static verification of %s failed (%d findings)", prog.Name, len(diags))
+	}
+	fmt.Printf("static verification of %s passed (%d warnings)\n", prog.Name, len(diags))
 }
 
 // parseBindings parses "NAME=value,NAME=value" parameter bindings.

@@ -66,6 +66,13 @@ type Options struct {
 	// selects runtime.NumCPU(). Results are bit-identical for every
 	// parallelism level.
 	Parallelism int
+	// SkipVerify disables the static pre-flight verification
+	// (internal/scopcheck) that ComputeDistances and ComputeParametricModel
+	// run on the input program. The verification is cheap and rejects
+	// malformed programs (out-of-bounds accesses, broken schedules) with
+	// structured diagnostics instead of letting the symbolic pipeline
+	// compute garbage; disable it only for programs already verified.
+	SkipVerify bool
 }
 
 // effectiveParallelism resolves the Parallelism knob: values below one

@@ -129,6 +129,9 @@ func ComputeParametricModel(prog *scop.Program, lineSize int64, opts Options) (*
 	if !prog.IsParametric() {
 		return nil, fmt.Errorf("core: program %s has no parameters; use ComputeDistances", prog.Name)
 	}
+	if err := preflight(prog, opts); err != nil {
+		return nil, err
+	}
 	info, err := scop.BuildPoly(prog)
 	if err != nil {
 		return nil, err

@@ -71,6 +71,9 @@ func ComputeDistances(prog *scop.Program, lineSize int64, opts Options) (*Distan
 	if prog.IsParametric() {
 		return nil, fmt.Errorf("core: program %s is parametric; use ComputeParametricModel (or Instantiate it first)", prog.Name)
 	}
+	if err := preflight(prog, opts); err != nil {
+		return nil, err
+	}
 	dm := &DistanceModel{Kernel: prog.Name, LineSize: lineSize, opts: opts, prog: prog}
 	dm.baseStats.NonAffineByAffineDims = map[int]int{}
 

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"haystack/internal/scop"
+	"haystack/internal/scopcheck"
+)
+
+// ErrInvalidProgram reports that the static verifier (internal/scopcheck)
+// rejected the program before the analysis ran. Use errors.As with
+// *InvalidProgramError to inspect the individual findings.
+var ErrInvalidProgram = errors.New("core: program failed static verification")
+
+// InvalidProgramError carries the scopcheck diagnostics that failed the
+// pre-flight verification of a program.
+type InvalidProgramError struct {
+	Program     string
+	Diagnostics []scopcheck.Diagnostic
+}
+
+func (e *InvalidProgramError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %s:", ErrInvalidProgram, e.Program)
+	for _, d := range e.Diagnostics {
+		fmt.Fprintf(&b, "\n  %s", d)
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidProgram) work.
+func (e *InvalidProgramError) Unwrap() error { return ErrInvalidProgram }
+
+// preflight runs the static verifier on the program unless opts.SkipVerify
+// is set. Error-severity findings abort the analysis with an
+// *InvalidProgramError; warnings (empty domains, undecidable properties) do
+// not block — the analysis is still well-defined on such programs.
+func preflight(prog *scop.Program, opts Options) error {
+	if opts.SkipVerify {
+		return nil
+	}
+	diags := scopcheck.Check(prog)
+	if !scopcheck.HasErrors(diags) {
+		return nil
+	}
+	var errs []scopcheck.Diagnostic
+	for _, d := range diags {
+		if d.Severity == scopcheck.Error {
+			errs = append(errs, d)
+		}
+	}
+	return &InvalidProgramError{Program: prog.Name, Diagnostics: errs}
+}

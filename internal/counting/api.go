@@ -111,6 +111,7 @@ func DisjointBasicSets(s presburger.Set) ([]presburger.BasicSet, error) {
 		}
 		for _, r := range rest.Basics() {
 			if !r.DefinitelyEmpty() {
+				presburger.DebugAssertBasicSet(r, "disjoint decomposition")
 				out = append(out, r)
 			}
 		}
@@ -136,6 +137,7 @@ func DisjointBasicMaps(m presburger.Map) ([]presburger.BasicMap, error) {
 		}
 		for _, r := range rest.Basics() {
 			if !r.DefinitelyEmpty() {
+				presburger.DebugAssertBasicMap(r, "disjoint decomposition")
 				out = append(out, r)
 			}
 		}

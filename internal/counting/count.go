@@ -64,6 +64,7 @@ func CardBasicSetSummands(bs presburger.BasicSet, nParam int, paramSpace presbur
 	if !ok {
 		return qpoly.ZeroSum(paramSpace), nil
 	}
+	presburger.DebugAssertBasicSet(trimmed, "redundancy elimination")
 	sys := newSystem(trimmed, nParam)
 	systems := []*system{sys}
 	processed := 0

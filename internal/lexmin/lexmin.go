@@ -98,6 +98,7 @@ func mapLexmin(m presburger.Map, workers int, partition bool) (presburger.Map, e
 		}
 		result = result.Union(folded)
 	}
+	presburger.DebugAssertMap(result, "lexmin")
 	return result, nil
 }
 
@@ -397,8 +398,9 @@ func combineMin(f, g presburger.Map) (presburger.Map, error) {
 	// the overlap minus both win domains.
 	tieDom := overlap.Subtract(fWinsDom).Subtract(gWinsDom)
 
-	result := fOnly.Union(gOnly).Union(fOv.IntersectDomain(fWinsDom)).Union(gOv.IntersectDomain(gWinsDom)).Union(fOv.IntersectDomain(tieDom))
-	return pruneEmpty(result), nil
+	result := pruneEmpty(fOnly.Union(gOnly).Union(fOv.IntersectDomain(fWinsDom)).Union(gOv.IntersectDomain(gWinsDom)).Union(fOv.IntersectDomain(tieDom)))
+	presburger.DebugAssertMap(result, "lexmin combine")
+	return result, nil
 }
 
 // pruneEmpty coalesces the union (the subtraction-heavy combination above is

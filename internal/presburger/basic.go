@@ -434,8 +434,59 @@ func (b *basic) simplify() bool {
 		out = append(out, c)
 		insert(&ineqByCoeff, h, len(out)-1)
 	}
+	// The forward pass cannot drop an inequality stored before a parallel
+	// equality arrived (the pinned check only looks backwards). Sweep such
+	// inequalities out now so pinned-by-equality holds regardless of the
+	// order constraints were added in.
+	if eqByCoeff != nil && ineqByCoeff != nil {
+		eqIdx := make(map[uint64][]Constraint, len(eqByCoeff))
+		for _, c := range out {
+			if c.Eq {
+				h := coeffHash(c.C, false)
+				eqIdx[h] = append(eqIdx[h], c)
+			}
+		}
+		kept := out[:0]
+		for _, c := range out {
+			if !c.Eq {
+				pinned := false
+				for _, e := range eqIdx[coeffHash(c.C, false)] {
+					if coeffsMatch(e.C, c.C, false) {
+						// f == -k0 and f + k >= 0: feasible iff k >= k0.
+						if c.C[0] < e.C[0] {
+							return false
+						}
+						pinned = true
+						break
+					}
+				}
+				if !pinned {
+					for _, e := range eqIdx[coeffHash(c.C, true)] {
+						if coeffsMatch(e.C, c.C, true) {
+							// -f + k0 == 0 and f + k >= 0: f == k0, so
+							// feasible iff k0 + k >= 0.
+							if c.C[0]+e.C[0] < 0 {
+								return false
+							}
+							pinned = true
+							break
+						}
+					}
+				}
+				if pinned {
+					continue
+				}
+			}
+			kept = append(kept, c)
+		}
+		out = kept
+	}
 	b.cons = out
-	return !b.hasConflictingBounds()
+	if b.hasConflictingBounds() {
+		return false
+	}
+	b.debugAssert("simplify", true)
+	return true
 }
 
 // coeffHash hashes the non-constant coefficients of a constraint vector

@@ -105,6 +105,7 @@ func (s Set) coalesce(full bool) Set {
 	merged := coalesceBasics(bs, full)
 	out := Set{space: s.space, basics: make([]BasicSet, len(merged))}
 	for i, b := range merged {
+		b.debugAssert("coalesce", false)
 		out.basics[i] = BasicSet{space: s.space, b: *b}
 	}
 	return out
@@ -130,6 +131,7 @@ func (m Map) coalesce(full bool) Map {
 	merged := coalesceBasics(bs, full)
 	out := Map{in: m.in, out: m.out, basics: make([]BasicMap, len(merged))}
 	for i, b := range merged {
+		b.debugAssert("coalesce", false)
 		out.basics[i] = BasicMap{in: m.in, out: m.out, b: *b}
 	}
 	return out

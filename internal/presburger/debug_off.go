@@ -1,0 +1,9 @@
+//go:build !haystackdebug
+
+package presburger
+
+// debugInvariants gates the invariant assertions at the mutation frontiers.
+// In normal builds it is a false constant, so the hooks compile away; build
+// with -tags haystackdebug to turn every simplify/coalesce/gist/projection
+// into a self-checking operation.
+const debugInvariants = false

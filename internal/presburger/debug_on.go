@@ -1,0 +1,10 @@
+//go:build haystackdebug
+
+package presburger
+
+// debugInvariants is true under the haystackdebug build tag: the
+// debugAssert* hooks at the mutation frontiers validate the IR invariants
+// after every simplify, coalesce, gist, and projection, panicking with the
+// offending set rendered. The dedicated CI job runs the short test suite in
+// this mode.
+const debugInvariants = true

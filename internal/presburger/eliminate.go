@@ -298,6 +298,7 @@ func (b *basic) eliminateDimCols(cols []int) error {
 			return err
 		}
 	}
+	b.debugAssert("projection", false)
 	return nil
 }
 

@@ -27,6 +27,7 @@ func (bs BasicSet) Gist(ctx BasicSet) BasicSet {
 	}
 	out := bs.clone()
 	gistBasic(&out.b, &ctx.b)
+	out.b.debugAssert("gist", false)
 	return out
 }
 
@@ -37,6 +38,7 @@ func (bm BasicMap) Gist(ctx BasicMap) BasicMap {
 	}
 	out := bm.clone()
 	gistBasic(&out.b, &ctx.b)
+	out.b.debugAssert("gist", false)
 	return out
 }
 

@@ -1,0 +1,113 @@
+package presburger_test
+
+// Regression tests for the IR invariant checker, centered on the
+// circular-div bug class: a projection that substituted a dimension into a
+// div numerator could produce a div referencing its own column, silently
+// changing the point semantics of the set. CheckInvariants must reject such
+// IR no matter how it was constructed.
+
+import (
+	"strings"
+	"testing"
+
+	"haystack/internal/presburger"
+)
+
+// circularDivMap constructs, directly from divs and constraints, a basic map
+// whose single div references its own column: with layout
+// [const, i, j, div0], the numerator {0, 1, 0, 1} reads i + div0, so the
+// definition div0 = floor((i + div0)/2) is circular.
+func circularDivMap() presburger.BasicMap {
+	in := presburger.NewSpace("S", "i")
+	out := presburger.NewSpace("T", "j")
+	divs := []presburger.Div{
+		{Num: presburger.Vec{0, 1, 0, 1}, Den: 2},
+	}
+	cons := []presburger.Constraint{
+		{C: presburger.Vec{0, 0, -1, 1}, Eq: true}, // j == div0
+		{C: presburger.Vec{0, 1, 0, 0}},            // i >= 0
+		{C: presburger.Vec{7, -1, 0, 0}},           // i <= 7
+	}
+	return presburger.NewBasicMap(in, out, divs, cons)
+}
+
+func TestCheckInvariantsCircularDiv(t *testing.T) {
+	bm := circularDivMap()
+	err := bm.CheckInvariants()
+	if err == nil {
+		t.Fatalf("CheckInvariants accepted a basic map with a self-referential div: %v", bm)
+	}
+	if !strings.Contains(err.Error(), "itself") {
+		t.Fatalf("CheckInvariants = %q, want a self-reference diagnostic", err)
+	}
+}
+
+func TestCheckInvariantsForwardDivReference(t *testing.T) {
+	// Layout [const, i, div0, div1]: div0's numerator references div1,
+	// breaking the left-to-right evaluation order every evaluator assumes.
+	sp := presburger.NewSpace("S", "i")
+	divs := []presburger.Div{
+		{Num: presburger.Vec{0, 1, 0, 1}, Den: 2}, // div0 = floor((i + div1)/2)
+		{Num: presburger.Vec{0, 1, 0, 0}, Den: 3}, // div1 = floor(i/3)
+	}
+	bs := presburger.NewBasicSet(sp, divs, nil)
+	err := bs.CheckInvariants()
+	if err == nil {
+		t.Fatalf("CheckInvariants accepted a forward div reference: %v", bs)
+	}
+	if !strings.Contains(err.Error(), "later div") {
+		t.Fatalf("CheckInvariants = %q, want a forward-reference diagnostic", err)
+	}
+}
+
+func TestCheckInvariantsNonPositiveDenominator(t *testing.T) {
+	sp := presburger.NewSpace("S", "i")
+	divs := []presburger.Div{
+		{Num: presburger.Vec{0, 1, 0}, Den: 0},
+	}
+	bs := presburger.NewBasicSet(sp, divs, nil)
+	if err := bs.CheckInvariants(); err == nil {
+		t.Fatalf("CheckInvariants accepted a div with denominator 0: %v", bs)
+	}
+}
+
+func TestCheckInvariantsAcceptsWellFormedDiv(t *testing.T) {
+	// div0 = floor(i/2) with 0 <= i <= 7 and i - 2*div0 == 0 (even i only)
+	// is a perfectly ordinary use of a local div.
+	sp := presburger.NewSpace("S", "i")
+	divs := []presburger.Div{
+		{Num: presburger.Vec{0, 1, 0}, Den: 2},
+	}
+	cons := []presburger.Constraint{
+		{C: presburger.Vec{0, 1, 0}},            // i >= 0
+		{C: presburger.Vec{7, -1, 0}},           // i <= 7
+		{C: presburger.Vec{0, 1, -2}, Eq: true}, // i == 2*div0
+	}
+	bs := presburger.NewBasicSet(sp, divs, cons)
+	if err := bs.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants rejected a well-formed div: %v", err)
+	}
+	s := presburger.SetFromBasic(bs)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("Set.CheckInvariants rejected a well-formed div: %v", err)
+	}
+}
+
+// TestDebugAssertMatchesBuildTag exercises the mutation-frontier hook both
+// ways: in a plain build the assert must be a no-op even on corrupt IR; in a
+// haystackdebug build it must panic on the circular div.
+func TestDebugAssertMatchesBuildTag(t *testing.T) {
+	bm := circularDivMap()
+	panicked := func() (p bool) {
+		defer func() {
+			if recover() != nil {
+				p = true
+			}
+		}()
+		presburger.DebugAssertBasicMap(bm, "test")
+		return false
+	}()
+	if want := presburger.DebugInvariantsEnabled(); panicked != want {
+		t.Fatalf("DebugAssertBasicMap panicked=%v with DebugInvariantsEnabled=%v", panicked, want)
+	}
+}

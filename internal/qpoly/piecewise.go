@@ -261,6 +261,7 @@ func (pw PwQPoly) CoalescePieces() PwQPoly {
 			if bs.DefinitelyEmpty() {
 				continue
 			}
+			presburger.DebugAssertBasicSet(bs, "qpoly piece coalesce")
 			out.Pieces = append(out.Pieces, Piece{Domain: bs, Poly: pw.Pieces[idxs[0]].Poly})
 		}
 	}

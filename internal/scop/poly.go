@@ -289,8 +289,41 @@ func (info *PolyInfo) LineAccessMap(lineSize int64) presburger.UnionMap {
 // accessMap builds the access union map; lineSize == 0 selects element
 // granularity.
 func (info *PolyInfo) accessMap(lineSize int64) presburger.UnionMap {
-	nP := info.NParam()
 	u := presburger.NewUnionMap()
+	for _, ar := range info.AccessRelations(lineSize) {
+		if len(ar.Map.Basics()) > 0 {
+			u = u.Add(ar.Map)
+		}
+	}
+	return u
+}
+
+// AccessRelation pairs one array reference of one statement with its
+// polyhedral access relation: the statement instances (restricted to the
+// iteration domain) mapped to the array elements (or cache lines) the
+// reference touches. It is the per-access granularity the static verifier
+// (internal/scopcheck) works at; AccessMap and LineAccessMap are the unions
+// of these relations.
+type AccessRelation struct {
+	Statement *PolyStatement
+	// AccessIndex is the position of the access within the statement (the
+	// value of the trailing "a" dimension of the instance space).
+	AccessIndex int
+	Access      Access
+	// Map relates the statement instance space to the array space. The array
+	// space carries the program parameters as leading dimensions followed by
+	// one dimension per array rank (the innermost replaced by the cache line
+	// index when built at line granularity).
+	Map presburger.Map
+}
+
+// AccessRelations returns the access relation of every array reference of
+// every statement, in program order. lineSize == 0 selects element
+// granularity; a positive lineSize replaces the innermost array dimension by
+// the cache line index (see LineAccessMap).
+func (info *PolyInfo) AccessRelations(lineSize int64) []AccessRelation {
+	nP := info.NParam()
+	var out []AccessRelation
 	for _, ps := range info.Statements {
 		loopVars := ps.Instance.LoopVars()
 		nIn := nP + len(loopVars) + 1
@@ -346,13 +379,15 @@ func (info *PolyInfo) accessMap(lineSize int64) presburger.UnionMap {
 				upper[0] += lineSize - 1
 				bm = bm.AddConstraint(presburger.Constraint{C: upper})
 			}
-			m := presburger.MapFromBasic(bm).IntersectDomain(ps.Domain)
-			if len(m.Basics()) > 0 {
-				u = u.Add(m)
-			}
+			out = append(out, AccessRelation{
+				Statement:   ps,
+				AccessIndex: accIdx,
+				Access:      acc,
+				Map:         presburger.MapFromBasic(bm).IntersectDomain(ps.Domain),
+			})
 		}
 	}
-	return u
+	return out
 }
 
 // scheduleSpace builds the common schedule space: the program parameters

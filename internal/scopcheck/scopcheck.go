@@ -1,0 +1,214 @@
+// Package scopcheck statically verifies static control programs before the
+// symbolic cache model runs on them. It is the validation layer between a
+// program source — the builder DSL today, user-submitted or fuzzer-generated
+// SCoPs tomorrow — and the Presburger machinery, which silently computes
+// garbage on malformed input.
+//
+// The checker runs two passes. The structural pass walks the program tree
+// and reports well-formedness violations (undeclared arrays, subscript arity
+// mismatches, dangling variables, duplicate names) without any polyhedral
+// machinery. The semantic pass builds the polyhedral description and uses
+// the Presburger engine itself to prove, per statement:
+//
+//   - every array access stays inside the declared extents; a violation is
+//     reported with a concrete counterexample point obtained by
+//     lexicographic minimization (the first failing instance in execution
+//     order of the loop nest),
+//   - the schedule is total (every domain point has a time stamp), single
+//     valued, and injective across all statements (no two instances share a
+//     time stamp),
+//   - iteration domains are non-empty,
+//   - the context set is satisfiable and bounds every parameter from below.
+//
+// Diagnostics are structured ([]Diagnostic with kind, severity, statement,
+// and witness point), so callers can render, filter, or assert on them. The
+// cache model (internal/core) runs Check as an opt-out pre-flight; the
+// cmd/scopcheck CLI and the -check flag of cmd/haystack expose it directly.
+package scopcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"haystack/internal/scop"
+)
+
+// Kind classifies a diagnostic.
+type Kind string
+
+// The diagnostic kinds. Structural kinds come from the program tree walk,
+// semantic kinds from the Presburger pass.
+const (
+	// KindOutOfBounds reports an array access that leaves the declared
+	// extent of the array for some reachable statement instance.
+	KindOutOfBounds Kind = "out-of-bounds"
+	// KindScheduleNotTotal reports a statement instance without a schedule
+	// time stamp.
+	KindScheduleNotTotal Kind = "schedule-not-total"
+	// KindScheduleNotSingleValued reports a statement instance with more
+	// than one schedule time stamp.
+	KindScheduleNotSingleValued Kind = "schedule-not-single-valued"
+	// KindScheduleNotInjective reports two distinct statement instances
+	// sharing one schedule time stamp.
+	KindScheduleNotInjective Kind = "schedule-not-injective"
+	// KindEmptyDomain reports a statement whose iteration domain has no
+	// integer points: the statement never executes.
+	KindEmptyDomain Kind = "empty-domain"
+	// KindInfeasibleContext reports a context set without integer points:
+	// no parameter values satisfy the declared constraints.
+	KindInfeasibleContext Kind = "infeasible-context"
+	// KindUnboundedParameter reports a parameter the context set does not
+	// bound from below (the parametric counting machinery needs a least
+	// value per parameter).
+	KindUnboundedParameter Kind = "unbounded-parameter"
+	// KindUnverifiable reports a property the engine could neither prove
+	// nor refute (an operation left the supported fragment).
+	KindUnverifiable Kind = "unverifiable"
+
+	// KindUndeclaredArray reports an access to an array the program does
+	// not declare.
+	KindUndeclaredArray Kind = "undeclared-array"
+	// KindSubscriptArity reports an access whose subscript count differs
+	// from the rank of the array.
+	KindSubscriptArity Kind = "subscript-arity"
+	// KindDanglingVariable reports a subscript or bound referencing a name
+	// that is neither an enclosing loop variable nor a program parameter.
+	KindDanglingVariable Kind = "dangling-variable"
+	// KindDuplicateStatement reports two statements sharing a name.
+	KindDuplicateStatement Kind = "duplicate-statement"
+	// KindDuplicateParameter reports a parameter declared twice.
+	KindDuplicateParameter Kind = "duplicate-parameter"
+	// KindShadowedParameter reports a loop variable shadowing a parameter.
+	KindShadowedParameter Kind = "shadowed-parameter"
+	// KindNoAccesses reports a statement without memory accesses.
+	KindNoAccesses Kind = "no-accesses"
+	// KindBadArray reports a malformed array declaration (zero rank,
+	// non-positive element size, or an extent referencing a non-parameter).
+	KindBadArray Kind = "bad-array"
+	// KindBadContext reports a context constraint referencing a
+	// non-parameter.
+	KindBadContext Kind = "bad-context"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Warning marks findings that do not make the analysis wrong but are
+	// almost certainly not intended (an empty domain) or that the checker
+	// could not decide (unverifiable properties).
+	Warning Severity = iota
+	// Error marks violations that make the program meaningless or the
+	// analysis unsound.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one structured finding of the checker.
+type Diagnostic struct {
+	Kind     Kind
+	Severity Severity
+	// Statement names the statement the finding concerns ("" for
+	// program-level findings).
+	Statement string
+	// Array names the accessed array for access findings.
+	Array string
+	// AccessIndex is the position of the offending access within its
+	// statement, -1 when not applicable.
+	AccessIndex int
+	// Message is the human-readable description.
+	Message string
+	// Witness is a concrete counterexample point when the engine found one
+	// (for out-of-bounds: the lexicographically first failing instance).
+	// WitnessDims names its coordinates.
+	Witness     []int64
+	WitnessDims []string
+}
+
+// String renders the diagnostic on one line.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", d.Severity, d.Kind)
+	if d.Statement != "" {
+		fmt.Fprintf(&b, ": statement %s", d.Statement)
+	}
+	fmt.Fprintf(&b, ": %s", d.Message)
+	if len(d.Witness) > 0 {
+		b.WriteString(" at ")
+		b.WriteString(renderWitness(d.Witness, d.WitnessDims))
+	}
+	return b.String()
+}
+
+// renderWitness formats a witness point as "(i=4, j=0)".
+func renderWitness(point []int64, dims []string) string {
+	parts := make([]string, len(point))
+	for i, v := range point {
+		if i < len(dims) && dims[i] != "" {
+			parts[i] = fmt.Sprintf("%s=%d", dims[i], v)
+		} else {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Check validates a program: the structural pass first, then — when the
+// structure is sound — the semantic Presburger pass over the polyhedral
+// description. A nil or empty result means the program verified clean.
+func Check(prog *scop.Program) []Diagnostic {
+	diags := checkStructure(prog)
+	if HasErrors(diags) {
+		// BuildPoly would reject the program (or panic on arity mismatches);
+		// the structural findings are the actionable report.
+		return sortDiags(diags)
+	}
+	info, err := scop.BuildPoly(prog)
+	if err != nil {
+		// Validate() and the structural pass agree on well-formedness, so
+		// this is unreachable in practice; degrade into a diagnostic rather
+		// than losing the finding.
+		diags = append(diags, Diagnostic{
+			Kind: KindDanglingVariable, Severity: Error, AccessIndex: -1,
+			Message: fmt.Sprintf("building the polyhedral description failed: %v", err),
+		})
+		return sortDiags(diags)
+	}
+	return sortDiags(append(diags, CheckPoly(info)...))
+}
+
+// sortDiags orders diagnostics deterministically: errors before warnings,
+// then by statement, kind, and message.
+func sortDiags(diags []Diagnostic) []Diagnostic {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Statement != b.Statement {
+			return a.Statement < b.Statement
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

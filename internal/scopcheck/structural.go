@@ -1,0 +1,148 @@
+package scopcheck
+
+import (
+	"fmt"
+
+	"haystack/internal/scop"
+)
+
+// checkStructure walks the program tree and collects every well-formedness
+// violation as a typed diagnostic. It mirrors the conditions of
+// scop.Program.Validate but keeps going after the first finding so a broken
+// program gets one complete report instead of an error chain.
+func checkStructure(prog *scop.Program) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) {
+		diags = append(diags, d)
+	}
+
+	params := map[string]bool{}
+	for _, n := range prog.Params {
+		if params[n] {
+			report(Diagnostic{
+				Kind: KindDuplicateParameter, Severity: Error, AccessIndex: -1,
+				Message: fmt.Sprintf("parameter %s is declared twice", n),
+			})
+			continue
+		}
+		params[n] = true
+	}
+	for _, ctx := range prog.Context {
+		for v, c := range ctx.Coeffs {
+			if c != 0 && !params[v] {
+				report(Diagnostic{
+					Kind: KindBadContext, Severity: Error, AccessIndex: -1,
+					Message: fmt.Sprintf("context constraint %s >= 0 references non-parameter %s", ctx, v),
+				})
+			}
+		}
+	}
+
+	declared := map[*scop.Array]bool{}
+	for _, a := range prog.Arrays {
+		declared[a] = true
+		if a.Rank() == 0 {
+			report(Diagnostic{
+				Kind: KindBadArray, Severity: Error, Array: a.Name, AccessIndex: -1,
+				Message: fmt.Sprintf("array %s has no dimensions", a.Name),
+			})
+		}
+		if a.Elem <= 0 {
+			report(Diagnostic{
+				Kind: KindBadArray, Severity: Error, Array: a.Name, AccessIndex: -1,
+				Message: fmt.Sprintf("array %s has non-positive element size %d", a.Name, a.Elem),
+			})
+		}
+		for i, de := range a.DimExprs {
+			for v, c := range de.Coeffs {
+				if c != 0 && !params[v] {
+					report(Diagnostic{
+						Kind: KindBadArray, Severity: Error, Array: a.Name, AccessIndex: -1,
+						Message: fmt.Sprintf("extent %d of array %s references non-parameter %s", i, a.Name, v),
+					})
+				}
+			}
+		}
+	}
+
+	names := map[string]bool{}
+	for _, si := range prog.Statements() {
+		stmt := si.Statement
+		if names[stmt.Name] {
+			report(Diagnostic{
+				Kind: KindDuplicateStatement, Severity: Error, Statement: stmt.Name, AccessIndex: -1,
+				Message: fmt.Sprintf("statement name %s is used twice", stmt.Name),
+			})
+		}
+		names[stmt.Name] = true
+		if len(stmt.Accesses) == 0 {
+			report(Diagnostic{
+				Kind: KindNoAccesses, Severity: Error, Statement: stmt.Name, AccessIndex: -1,
+				Message: "statement performs no memory accesses",
+			})
+		}
+
+		vars := map[string]bool{}
+		for _, v := range si.LoopVars() {
+			if params[v] {
+				report(Diagnostic{
+					Kind: KindShadowedParameter, Severity: Error, Statement: stmt.Name, AccessIndex: -1,
+					Message: fmt.Sprintf("loop variable %s shadows a program parameter", v),
+				})
+			}
+			vars[v] = true
+		}
+		// Dangling names in loop bounds: a bound may reference parameters and
+		// outer loop variables only. Validate() defers this to BuildPoly's
+		// exprToVec failure; the checker reports it directly.
+		for depth, loop := range si.Loops {
+			outer := map[string]bool{}
+			for _, l := range si.Loops[:depth] {
+				outer[l.Var.Name] = true
+			}
+			bounds := append([]scop.Expr{loop.Lower, loop.Upper}, loop.ExtraLower...)
+			bounds = append(bounds, loop.ExtraUpper...)
+			for _, e := range bounds {
+				for v, c := range e.Coeffs {
+					if c != 0 && !outer[v] && !params[v] && v != loop.Var.Name {
+						report(Diagnostic{
+							Kind: KindDanglingVariable, Severity: Error, Statement: stmt.Name, AccessIndex: -1,
+							Message: fmt.Sprintf("bound of loop %s references %s, which is neither a parameter nor an outer loop variable", loop.Var.Name, v),
+						})
+					}
+				}
+			}
+		}
+
+		for accIdx, acc := range stmt.Accesses {
+			if !declared[acc.Array] {
+				report(Diagnostic{
+					Kind: KindUndeclaredArray, Severity: Error, Statement: stmt.Name,
+					Array: acc.Array.Name, AccessIndex: accIdx,
+					Message: fmt.Sprintf("access to array %s, which the program does not declare", acc.Array.Name),
+				})
+				continue
+			}
+			if len(acc.Index) != acc.Array.Rank() {
+				report(Diagnostic{
+					Kind: KindSubscriptArity, Severity: Error, Statement: stmt.Name,
+					Array: acc.Array.Name, AccessIndex: accIdx,
+					Message: fmt.Sprintf("access to %s has %d subscripts, array has %d dimensions",
+						acc.Array.Name, len(acc.Index), acc.Array.Rank()),
+				})
+			}
+			for _, idx := range acc.Index {
+				for v, c := range idx.Coeffs {
+					if c != 0 && !vars[v] && !params[v] {
+						report(Diagnostic{
+							Kind: KindDanglingVariable, Severity: Error, Statement: stmt.Name,
+							Array: acc.Array.Name, AccessIndex: accIdx,
+							Message: fmt.Sprintf("subscript references %s, which is neither a parameter nor an enclosing loop variable", v),
+						})
+					}
+				}
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,92 @@
+package scopcheck
+
+import (
+	"errors"
+
+	"haystack/internal/lexmin"
+	"haystack/internal/presburger"
+)
+
+// witnessStatus is the three-valued outcome of a point search: the engine
+// found a point, proved there is none, or could decide neither.
+type witnessStatus int
+
+const (
+	witnessFound witnessStatus = iota
+	witnessEmpty
+	witnessUndecided
+)
+
+// firstPoint returns the lexicographically smallest integer point of the set
+// (all dimensions ordered as in the space, parameters included), or reports
+// that the set is empty or undecidable. It is the counterexample generator:
+// for a violation set over a statement instance space, the returned point is
+// the first failing instance in execution order of the loop nest.
+//
+// The set is wrapped as a relation with zero input dimensions, so the
+// parametric lexmin machinery — which minimizes output dimensions per input
+// point — computes one global minimum. The column layouts of a basic set and
+// a 0-input basic map coincide, so divs and constraints transfer verbatim.
+func firstPoint(s presburger.Set) ([]int64, witnessStatus) {
+	var bms []presburger.BasicMap
+	in := presburger.NewSpace("Witness")
+	out := presburger.NewSpace(s.Space().Name, s.Space().Dims...)
+	allEmpty := true
+	for _, bs := range s.Basics() {
+		if bs.DefinitelyEmpty() {
+			continue
+		}
+		allEmpty = false
+		bms = append(bms, presburger.NewBasicMap(in, out, bs.Divs(), bs.Constraints()))
+	}
+	if allEmpty {
+		return nil, witnessEmpty
+	}
+	mn, err := lexmin.MapLexmin(presburger.MapFromBasics(bms...))
+	if err == nil {
+		if p, ok := scanOne(mn.Scan); ok {
+			return p, witnessFound
+		}
+		// Lexmin succeeded but its pieces have no integer point: the set has
+		// rational points only. That is a proof of (integer) emptiness when
+		// enumeration succeeded, but Scan can also fail on unbounded pieces,
+		// so fall through to the sampling path instead of concluding empty.
+	}
+	return anyPoint(s)
+}
+
+// anyPoint returns some integer point of the set (no minimality guarantee),
+// or reports emptiness/undecidability. Cheaper than firstPoint; used where
+// existence is the question, e.g. confirming a domain is non-empty.
+func anyPoint(s presburger.Set) ([]int64, witnessStatus) {
+	undecided := false
+	for _, bs := range s.Basics() {
+		if bs.DefinitelyEmpty() {
+			continue
+		}
+		if p, ok := bs.Sample(); ok {
+			return p, witnessFound
+		}
+		// Sample failed on a basic set the rational test could not refute:
+		// either unbounded (enumeration cannot run) or integer-empty in a way
+		// only enumeration over an unbounded range would reveal.
+		undecided = true
+	}
+	if undecided {
+		return nil, witnessUndecided
+	}
+	return nil, witnessEmpty
+}
+
+// scanOne runs a Scan-style enumerator and returns its first point.
+func scanOne(scan func(fn func([]int64) error) error) ([]int64, bool) {
+	var found []int64
+	err := scan(func(p []int64) error {
+		found = append([]int64(nil), p...)
+		return presburger.ErrStopScan
+	})
+	if err != nil && !errors.Is(err, presburger.ErrStopScan) {
+		return nil, false
+	}
+	return found, found != nil
+}
