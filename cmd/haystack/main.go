@@ -41,7 +41,10 @@ func main() {
 	noRasterization := flag.Bool("no-rasterization", false, "disable the rasterization floor elimination")
 	noPartial := flag.Bool("no-partial-enumeration", false, "disable partial enumeration of non-affine pieces")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the analysis (stack distances and capacity miss counting; 0 = all cores)")
-	stats := flag.Bool("stats", false, "print extended statistics (coalescing counters and basic-map counts of the distance phase)")
+	mode := flag.String("mode", "exact", "degradation ladder rung: exact (fail or trace-fallback on degraded operations), bounded (answer with certified interval bounds), sim (exact trace profiling, no symbolic analysis)")
+	budgetFlag := flag.Int64("budget", 0, "per-operation symbolic cost limit in cost units (0 = unlimited); an operation over budget fails in exact mode and degrades to certified bounds in bounded mode")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole analysis (e.g. 30s; 0 = none)")
+	stats := flag.Bool("stats", false, "print extended statistics (coalescing counters, basic-map counts, budget use, and degradation provenance)")
 	check := flag.Bool("check", false, "statically verify the program (scopcheck) and print the findings before the analysis; warnings are reported, errors abort")
 	flag.Parse()
 
@@ -72,10 +75,20 @@ func main() {
 	opts.Rasterization = !*noRasterization
 	opts.PartialEnumeration = !*noPartial
 	opts.Parallelism = *parallelism
+	m, err := core.ParseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Mode = m
+	opts.Budget = *budgetFlag
+	opts.Deadline = *deadline
 
 	var res *core.Result
 	var caption string
 	if *params != "" {
+		if opts.Mode == core.ModeSim {
+			log.Fatal("-mode sim needs a concrete -size: the parametric model has no trace to profile")
+		}
 		pk, ok := polybench.ParametricByName(*kernel)
 		if !ok {
 			log.Fatalf("kernel %q has no parametric variant (available: %s)", *kernel, strings.Join(polybench.ParametricNames(), ", "))
@@ -130,12 +143,23 @@ func main() {
 	if res.UsedTraceFallback {
 		fmt.Printf("note: symbolic analysis fell back to trace profiling (%s)\n", res.FallbackReason)
 	}
+	if res.Tier == core.TierBounded {
+		fmt.Printf("note: bounded tier — point values are certified upper bounds (%s)\n", res.FallbackReason)
+	}
 	t := report.NewTable("predicted cache behaviour", "cache", "bytes", "compulsory", "capacity", "misses", "miss ratio")
 	for i, lvl := range res.Levels {
 		ratio := float64(lvl.TotalMisses) / float64(res.TotalAccesses)
 		t.AddRow(fmt.Sprintf("L%d", i+1), lvl.CacheBytes, res.CompulsoryMisses, lvl.CapacityMisses, lvl.TotalMisses, ratio)
 	}
 	t.Write(os.Stdout)
+
+	if res.Tier == core.TierBounded {
+		fmt.Printf("\ncertified bounds: compulsory in %v\n", res.CompulsoryBounds)
+		for i, lvl := range res.Levels {
+			fmt.Printf("L%d: capacity misses in %v, total misses in %v (width %d)\n",
+				i+1, lvl.CapacityMissBounds, lvl.TotalMissBounds, lvl.TotalMissBounds.Width())
+		}
+	}
 
 	fmt.Printf("\nstack distances: %v   capacity counting: %v   total: %v\n",
 		res.Stats.StackDistanceTime.Round(1e6), res.Stats.CapacityTime.Round(1e6), res.Stats.TotalTime.Round(1e6))
@@ -155,6 +179,13 @@ func main() {
 			s.PeakBasicMaps, s.BasicMapsBeforeCoalesce, s.BasicMapsAfterCoalesce)
 		fmt.Printf("coalescing hits: %d dedup, %d subsumed, %d adjacent/extension merges, %d redundant constraints dropped\n",
 			s.CoalesceDedup, s.CoalesceSubsumed, s.CoalesceAdjacent, s.CoalesceRedundantCons)
+		fmt.Printf("tier: %s   budget charged: %d cost units (per-operation limit %d)\n", res.Tier, s.BudgetUsed, opts.Budget)
+		if len(s.BoundWidth) > 0 {
+			fmt.Printf("bound widths per level: %v (0 = exact)\n", s.BoundWidth)
+		}
+		if res.FallbackReason != "" {
+			fmt.Printf("degradation provenance: %s\n", res.FallbackReason)
+		}
 	}
 }
 

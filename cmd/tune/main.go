@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -50,6 +51,9 @@ func main() {
 	tiled := flag.String("tiled", "symbolic",
 		"analysis of tiled variants: 'symbolic' (full symbolic pipeline, problem-size independent) or 'profile' (exact trace profile, cost grows with the trace length)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines of the sweep's configuration pool (0 = all cores)")
+	mode := flag.String("mode", "exact", "degradation ladder rung of every grid point: exact, bounded (certified interval bounds on degraded operations), sim (exact trace profiling for all variants)")
+	budgetFlag := flag.Int64("budget", 0, "per-operation symbolic cost limit in cost units (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole sweep (e.g. 2m; 0 = none)")
 	stats := flag.Bool("stats", true, "print sweep statistics (text format only)")
 	list := flag.Bool("list", false, "list available kernels and exit")
 	flag.Parse()
@@ -82,8 +86,22 @@ func main() {
 	default:
 		log.Fatalf("unknown -tiled strategy %q (want profile or symbolic)", *tiled)
 	}
+	m, err := core.ParseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Analysis.Mode = m
+	opts.Analysis.Budget = *budgetFlag
 
-	res, err := explore.Sweep(grid, opts)
+	// The deadline covers the whole sweep, not each analysis: wrap the
+	// context here instead of setting Analysis.Deadline.
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	res, err := explore.SweepContext(ctx, grid, opts)
 	if err != nil {
 		log.Fatalf("sweep failed: %v", err)
 	}
@@ -183,7 +201,7 @@ func buildGrid(kernels string, sz polybench.Size, tiles string, line int64, hier
 // are slash separated, innermost level first.
 func gridTable(res *explore.Result, obj explore.Objective) *report.Table {
 	t := report.NewTable("design-space grid",
-		"kernel", "tile", "caches", "accesses", "compulsory", "capacity", "misses", obj.String()+" score", "fallback")
+		"kernel", "tile", "caches", "accesses", "compulsory", "capacity", "misses", obj.String()+" score", "tier")
 	for _, e := range res.Evaluations {
 		var capacity, total []string
 		for _, lvl := range e.Result.Levels {
@@ -193,7 +211,7 @@ func gridTable(res *explore.Result, obj explore.Objective) *report.Table {
 		t.AddRow(e.Kernel, tileLabel(e), cachesLabel(e.Hierarchy),
 			e.Result.TotalAccesses, e.Result.CompulsoryMisses,
 			strings.Join(capacity, "/"), strings.Join(total, "/"),
-			obj.Score(e), e.Result.UsedTraceFallback)
+			obj.Score(e), e.Result.Tier.String())
 	}
 	return t
 }

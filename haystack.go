@@ -29,8 +29,11 @@
 package haystack
 
 import (
+	"context"
+
 	"haystack/internal/cachesim"
 	"haystack/internal/core"
+	"haystack/internal/counting"
 	"haystack/internal/polybench"
 	"haystack/internal/scop"
 )
@@ -109,6 +112,40 @@ type LevelResult = core.LevelResult
 // counted.
 type Stats = core.Stats
 
+// Mode selects the rung of the graceful degradation ladder an analysis runs
+// on: ModeExact (the default) fails or trace-falls-back when the symbolic
+// pipeline degrades, ModeBounded answers with certified interval bounds
+// instead, and ModeSim skips the symbolic pipeline entirely.
+type Mode = core.Mode
+
+const (
+	// ModeExact demands exact symbolic results (the default zero value).
+	ModeExact = core.ModeExact
+	// ModeBounded degrades failed operations to certified interval bounds.
+	ModeBounded = core.ModeBounded
+	// ModeSim answers from exact trace profiling without symbolic analysis.
+	ModeSim = core.ModeSim
+)
+
+// ParseMode parses a -mode flag value ("exact", "bounded", "sim").
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// Tier reports which rung of the degradation ladder produced a Result.
+type Tier = core.Tier
+
+const (
+	// TierExact marks fully exact results (width-zero bounds).
+	TierExact = core.TierExact
+	// TierBounded marks results carrying certified interval bounds.
+	TierBounded = core.TierBounded
+	// TierSimulated marks results answered from a trace profile.
+	TierSimulated = core.TierSimulated
+)
+
+// Interval is a certified inclusive bound [Lo, Hi] on an exact count; exact
+// results carry width-zero intervals.
+type Interval = counting.Interval
+
 // Reference holds exact trace-based miss counts used for validation.
 type Reference = core.Reference
 
@@ -126,6 +163,14 @@ func Analyze(p *Program, cfg Config, opts Options) (*Result, error) {
 	return core.Analyze(p, cfg, opts)
 }
 
+// AnalyzeContext is Analyze observing ctx (and Options.Deadline): workers
+// stop claiming work promptly after cancellation and the context error is
+// returned. Combined with Options.Mode and Options.Budget it is the
+// entry point of the graceful degradation ladder.
+func AnalyzeContext(ctx context.Context, p *Program, cfg Config, opts Options) (*Result, error) {
+	return core.AnalyzeContext(ctx, p, cfg, opts)
+}
+
 // DistanceModel is the reusable, cache-capacity-independent half of the
 // analysis: the symbolic stack distances of one program at a fixed cache
 // line size. One model answers CountMisses queries for arbitrarily many
@@ -140,6 +185,12 @@ type DistanceModel = core.DistanceModel
 // identical to Analyze with the same options.
 func ComputeDistances(p *Program, lineSize int64, opts Options) (*DistanceModel, error) {
 	return core.ComputeDistances(p, lineSize, opts)
+}
+
+// ComputeDistancesContext is ComputeDistances observing ctx (and
+// Options.Deadline).
+func ComputeDistancesContext(ctx context.Context, p *Program, lineSize int64, opts Options) (*DistanceModel, error) {
+	return core.ComputeDistancesContext(ctx, p, lineSize, opts)
 }
 
 // ComputeDistancesByProfiling builds a DistanceModel from an exact stack

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 
+	"haystack/internal/budget"
 	"haystack/internal/counting"
 	"haystack/internal/ints"
 	"haystack/internal/parwork"
@@ -30,10 +34,32 @@ import (
 type capacityCounter struct {
 	opts  Options
 	stats *Stats
+	// meter and ctx wire the counter into the degradation ladder: every
+	// piece is counted under its own budgeted operation (per-operation
+	// limits keep bounded results bit-identical across worker counts) and
+	// workers stop claiming pieces once ctx is cancelled. Both are optional;
+	// nil means unlimited and uncancellable, matching the legacy behaviour.
+	meter *budget.Meter
+	ctx   context.Context
+	// op is the budgeted operation of the piece currently being counted. It
+	// is set per work item by the (single-goroutine) worker owning this
+	// counter, never shared.
+	op *budget.Op
 }
 
 func newCapacityCounter(opts Options, stats *Stats) *capacityCounter {
 	return &capacityCounter{opts: opts, stats: stats}
+}
+
+// capacityResult is the outcome of one hierarchy count: per cache level, the
+// per-statement point counts (certified upper bounds wherever a piece
+// degraded), the certified interval enclosing the level's capacity misses,
+// and the provenance of every degraded piece (empty for fully exact runs,
+// in which case each bounds entry has width zero).
+type capacityResult struct {
+	perStmt  []map[string]int64
+	bounds   []counting.Interval
+	degraded []string
 }
 
 // capacityWorkItem is one unit of parallel work: a single piece of one
@@ -43,15 +69,21 @@ type capacityWorkItem struct {
 	piece qpoly.Piece
 }
 
-// Count returns, for every capacity in cacheLines (in lines), the total
-// number of capacity misses together with the per-statement breakdown.
-func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int64) ([]int64, []map[string]int64, error) {
-	totals := make([]int64, len(cacheLines))
-	perStmt := make([]map[string]int64, len(cacheLines))
-	for l := range perStmt {
-		perStmt[l] = map[string]int64{}
+// Count returns, for every capacity in cacheLines (in lines), the
+// per-statement capacity miss counts together with a certified interval per
+// level. In exact mode any failing piece fails the count; under ModeBounded
+// a piece whose exact count degraded (budget or solver limits) contributes
+// certified interval bounds instead and the count succeeds. Cancellation
+// always aborts.
+func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int64) (capacityResult, error) {
+	out := capacityResult{
+		perStmt: make([]map[string]int64, len(cacheLines)),
+		bounds:  make([]counting.Interval, len(cacheLines)),
+	}
+	for l := range out.perStmt {
+		out.perStmt[l] = map[string]int64{}
 		for _, sd := range distances {
-			perStmt[l][sd.Statement] = 0
+			out.perStmt[l][sd.Statement] = 0
 		}
 	}
 	var items []capacityWorkItem
@@ -63,10 +95,17 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 	if len(items) == 0 || len(cacheLines) == 0 {
 		// Nothing to count (or no capacities to classify against): skip the
 		// pool entirely and report zero workers.
-		return totals, perStmt, nil
+		return out, nil
 	}
+	ctx := cc.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	bounded := cc.opts.Mode == ModeBounded
 	workers := effectiveParallelism(cc.opts.Parallelism)
 	results := make([][]int64, len(items))
+	itemBounds := make([][]counting.Interval, len(items))
+	itemReasons := make([]string, len(items))
 	// Schedule the pieces hardest-first (non-affine polynomials and busy
 	// domains cost orders of magnitude more than affine ones), so the pool
 	// does not stall on one giant piece picked up last. The permutation only
@@ -88,15 +127,29 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 	counters := make([]*capacityCounter, workers)
 	for w := range counters {
 		workerStats[w].NonAffineByAffineDims = map[int]int{}
-		counters[w] = &capacityCounter{opts: cc.opts, stats: &workerStats[w]}
+		counters[w] = &capacityCounter{opts: cc.opts, stats: &workerStats[w], meter: cc.meter}
 	}
-	workerTimes, err := parwork.RunTimed(len(items), workers, func(worker, scheduled int) error {
+	workerTimes, err := parwork.RunTimedCtx(ctx, len(items), workers, func(worker, scheduled int) error {
 		idx := order[scheduled]
-		counts, err := counters[worker].countPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines, true)
-		if err != nil {
-			return fmt.Errorf("core: counting capacity misses of %s: %w", distances[items[idx].stmt].Statement, err)
+		stmt := distances[items[idx].stmt].Statement
+		c := counters[worker]
+		c.op = c.meter.Op("capacity piece of " + stmt)
+		counts, err := c.countPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines, true)
+		if err == nil {
+			results[idx] = counts
+			return nil
 		}
-		results[idx] = counts
+		if !bounded || budget.IsCancellation(err) {
+			return fmt.Errorf("core: counting capacity misses of %s: %w", stmt, err)
+		}
+		// Bounded tier: the exact count of this one piece degraded; answer
+		// it with certified interval bounds instead of failing the analysis.
+		ivs, berr := c.boundPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines)
+		if berr != nil {
+			return fmt.Errorf("core: bounding capacity misses of %s: %w", stmt, berr)
+		}
+		itemBounds[idx] = ivs
+		itemReasons[idx] = fmt.Sprintf("%s: capacity piece bounded (%v)", stmt, err)
 		return nil
 	})
 
@@ -104,7 +157,7 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 		// On failure the set of completed pieces depends on scheduling, so
 		// the partial per-worker statistics are discarded: callers that fall
 		// back to trace profiling keep deterministic stats.
-		return nil, nil, err
+		return capacityResult{}, err
 	}
 
 	// Merge the per-worker statistics in worker order; every counter is
@@ -116,14 +169,104 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 	cc.stats.CapacityWorkers = len(workerTimes)
 	cc.stats.CapacityWorkerTime = workerTimes
 
-	for idx, counts := range results {
+	// Fold the per-item results in canonical item order so totals and bounds
+	// stay bit-identical for every worker count. Exact pieces contribute
+	// width-zero intervals; degraded pieces contribute their certified
+	// bounds, with the conservative upper bound as the point value.
+	for idx := range items {
 		stmt := distances[items[idx].stmt].Statement
-		for l, n := range counts {
-			perStmt[l][stmt] += n
-			totals[l] += n
+		if counts := results[idx]; counts != nil {
+			for l, n := range counts {
+				out.perStmt[l][stmt] += n
+				out.bounds[l] = out.bounds[l].Add(counting.Exact(n))
+			}
+			continue
 		}
+		for l, iv := range itemBounds[idx] {
+			out.perStmt[l][stmt] = satAddCount(out.perStmt[l][stmt], iv.Hi)
+			out.bounds[l] = out.bounds[l].Add(iv)
+		}
+		out.degraded = append(out.degraded, itemReasons[idx])
 	}
-	return totals, perStmt, nil
+	return out, nil
+}
+
+// satAddCount adds two non-negative counts, saturating at MaxInt64 (a
+// degraded piece with no box bound reports MaxInt64 as its upper bound;
+// callers clamp against the statement's instance count afterwards).
+func satAddCount(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// boundPiece computes certified bounds on the capacity misses of a piece
+// whose exact count degraded. The lower bound enumerates a prefix of the
+// domain and evaluates the distance polynomial at each point (every counted
+// point is a genuine miss); a complete enumeration makes the result exact.
+// The upper bound is the bounding-box volume of the domain (the misses are a
+// subset of the piece), refined by interval arithmetic on the polynomial
+// over the box: a range maximum at or below the capacity certifies zero
+// misses. Only cancellation can fail.
+func (cc *capacityCounter) boundPiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64) ([]counting.Interval, error) {
+	los := make([]int64, len(capacities))
+	var seen int64
+	complete := true
+	errEnumStop := errors.New("enumeration cap reached")
+	scanErr := domain.Scan(func(point []int64) error {
+		if err := cc.op.Err(); err != nil {
+			return err
+		}
+		if seen >= counting.DefaultMaxEnum {
+			return errEnumStop
+		}
+		seen++
+		v := poly.Eval(point)
+		for i, capacity := range capacities {
+			if v.Cmp(ints.RatInt(capacity)) > 0 {
+				los[i]++
+			}
+		}
+		return nil
+	})
+	if scanErr != nil {
+		if budget.IsCancellation(scanErr) {
+			return nil, scanErr
+		}
+		// Enumeration cap hit, or the scanner cannot walk the domain: the
+		// enumerated prefix still certifies the lower bounds.
+		complete = false
+	}
+	if complete {
+		ivs := make([]counting.Interval, len(capacities))
+		for i, n := range los {
+			ivs[i] = counting.Exact(n)
+		}
+		return ivs, nil
+	}
+	boxHi, boxOK := counting.BoxCountUpper(domain)
+	var rmax ints.Rat
+	rangeOK := false
+	if blo, bhi, ok := counting.BoxBounds(domain); ok {
+		_, rmax, rangeOK = poly.RangeOnBox(blo, bhi)
+	}
+	ivs := make([]counting.Interval, len(capacities))
+	for i, capacity := range capacities {
+		iv := counting.Interval{Lo: los[i], Hi: math.MaxInt64}
+		switch {
+		case rangeOK && rmax.Cmp(ints.RatInt(capacity)) <= 0:
+			// No point of the piece can exceed this capacity.
+			iv = counting.Exact(0)
+		case boxOK:
+			iv.Hi = boxHi
+		}
+		if iv.Hi < iv.Lo {
+			iv.Hi = iv.Lo
+		}
+		ivs[i] = iv
+	}
+	return ivs, nil
 }
 
 // countPiece counts, per capacity, the points of the piece whose stack
@@ -162,6 +305,11 @@ func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPo
 		n, err := cc.partialEnumeration(domain, poly, capacities)
 		if err == nil {
 			return n, nil
+		}
+		if errors.Is(err, budget.ErrExceeded) || budget.IsCancellation(err) {
+			// A budget trip or cancellation must not fall through to full
+			// enumeration — that would re-spend the already exhausted budget.
+			return nil, err
 		}
 	}
 	return cc.fullEnumeration(domain, poly, capacities)
@@ -214,9 +362,12 @@ func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpo
 			}
 			if !counted {
 				var err error
-				n, err = counting.CountBasicSet(domain)
+				n, err = counting.CountBasicSetOp(domain, cc.op)
 				if err != nil {
-					n, err = domain.CountByScan()
+					if errors.Is(err, budget.ErrExceeded) || budget.IsCancellation(err) {
+						return nil, err
+					}
+					n, err = cc.scanCount(domain)
 					if err != nil {
 						return nil, err
 					}
@@ -257,11 +408,14 @@ func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpo
 			// cheaper to establish than running the symbolic summation.
 			continue
 		}
-		n, err := counting.CountBasicSet(trimmed)
+		n, err := counting.CountBasicSetOp(trimmed, cc.op)
 		if err != nil {
+			if errors.Is(err, budget.ErrExceeded) || budget.IsCancellation(err) {
+				return nil, err
+			}
 			// The symbolic counter could not handle the piece; enumeration of
 			// the restricted set stays exact.
-			n, err = trimmed.CountByScan()
+			n, err = cc.scanCount(trimmed)
 			if err != nil {
 				return nil, err
 			}
@@ -370,6 +524,9 @@ func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly q
 	enumDomain := projectOnto(domain, enumDims)
 	total := make([]int64, len(capacities))
 	err := enumDomain.Scan(func(point []int64) error {
+		if err := cc.op.Charge(1); err != nil {
+			return err
+		}
 		cc.stats.PartialEnumerationPoints++
 		boundDomain := domain
 		boundPoly := poly
@@ -397,6 +554,9 @@ func (cc *capacityCounter) fullEnumeration(domain presburger.BasicSet, poly qpol
 	cc.stats.CountedPieces++
 	total := make([]int64, len(capacities))
 	err := domain.Scan(func(point []int64) error {
+		if err := cc.op.Charge(1); err != nil {
+			return err
+		}
 		cc.stats.FullEnumerationPoints++
 		v := poly.Eval(point)
 		for i, capacity := range capacities {
@@ -410,6 +570,24 @@ func (cc *capacityCounter) fullEnumeration(domain presburger.BasicSet, poly qpol
 		return nil, err
 	}
 	return total, nil
+}
+
+// scanCount counts the points of a basic set by enumeration, charging the
+// current operation one cost unit per point so an enumeration fallback
+// cannot silently blow past the budget the symbolic count just tripped.
+func (cc *capacityCounter) scanCount(bs presburger.BasicSet) (int64, error) {
+	var n int64
+	err := bs.Scan(func([]int64) error {
+		if err := cc.op.Charge(1); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // chooseEnumerationDims greedily selects the dimensions to enumerate: while

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"haystack/internal/budget"
 	"haystack/internal/cachesim"
 	"haystack/internal/polybench"
 	"haystack/internal/scop"
@@ -48,12 +49,15 @@ const budgetSlack = 30 * time.Second
 // clock may start, given the binary's deadline as reported by t.Deadline().
 // A test binary without a deadline (-timeout 0, or a caller that disabled
 // it) grants every request — no budget means nothing to degrade against.
+// The deadline arithmetic itself lives in budget.TimeAllows (shared with the
+// analysis pipeline); this adapter reports the pre-step remaining budget for
+// the skip message.
 func budgetAllows(need time.Duration, deadline time.Time, hasDeadline bool, now time.Time) (time.Duration, bool) {
+	left, ok := budget.TimeAllows(need, deadline, hasDeadline, now, budgetSlack)
 	if !hasDeadline {
-		return 0, true
+		return 0, ok
 	}
-	remaining := deadline.Sub(now) - budgetSlack
-	return remaining, remaining >= need
+	return left + need, ok
 }
 
 // requireBudget skips the calling (sub)test when the remaining -timeout

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -38,6 +39,76 @@ type Config struct {
 // 64-byte lines, a 32 KiB L1 and a 1 MiB L2.
 func DefaultConfig() Config {
 	return Config{LineSize: 64, CacheSizes: []int64{32 * 1024, 1024 * 1024}}
+}
+
+// Mode selects the rung of the degradation ladder the analysis runs on.
+type Mode int
+
+const (
+	// ModeExact (the zero value) demands exact answers: a stage that
+	// exceeds the budget or leaves the supported fragment fails the
+	// analysis (or triggers the exact trace fallback when
+	// Options.TraceFallback is set).
+	ModeExact Mode = iota
+	// ModeBounded degrades failing operations to certified interval bounds
+	// (Lo <= exact <= Hi) instead of failing: the analysis always answers,
+	// and exact sub-results keep width 0.
+	ModeBounded
+	// ModeSim skips the symbolic pipeline entirely and answers from an
+	// exact trace profile (runtime proportional to the trace length).
+	ModeSim
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeBounded:
+		return "bounded"
+	case ModeSim:
+		return "sim"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses the -mode CLI flag values.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "exact", "":
+		return ModeExact, nil
+	case "bounded":
+		return ModeBounded, nil
+	case "sim":
+		return ModeSim, nil
+	}
+	return ModeExact, fmt.Errorf("core: unknown mode %q (want exact, bounded, or sim)", s)
+}
+
+// Tier reports which rung of the degradation ladder produced a Result.
+type Tier int
+
+const (
+	// TierExact: every count of the result is exact (all bound widths 0).
+	TierExact Tier = iota
+	// TierBounded: at least one count degraded to a certified interval;
+	// the point values report the conservative upper bound of the
+	// interval and the bounds fields carry the certified ranges.
+	TierBounded
+	// TierSimulated: the result was obtained by exact trace profiling
+	// (the legacy trace fallback, or ModeSim).
+	TierSimulated
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierExact:
+		return "exact"
+	case TierBounded:
+		return "bounded"
+	case TierSimulated:
+		return "simulated"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
 }
 
 // Options toggles the optimizations of the miss counting stage; all of them
@@ -73,6 +144,25 @@ type Options struct {
 	// structured diagnostics instead of letting the symbolic pipeline
 	// compute garbage; disable it only for programs already verified.
 	SkipVerify bool
+	// Mode selects the degradation ladder rung (exact, bounded, sim); see
+	// the Mode constants. The zero value is ModeExact, preserving the
+	// legacy behavior.
+	Mode Mode
+	// Budget caps the cost units every counting operation of the analysis
+	// may spend (Fourier-Motzkin system fan-out and enumerated points both
+	// charge one unit). Zero means unlimited. The cap is enforced per
+	// operation — not against a shared pool — so which operation degrades
+	// is deterministic and independent of the worker count. In ModeExact
+	// an exceeded budget fails the operation (or triggers the trace
+	// fallback); in ModeBounded it degrades the operation to certified
+	// interval bounds.
+	Budget int64
+	// Deadline bounds the wall-clock time of an Analyze/ComputeDistances/
+	// CountMisses call: the call's context is cancelled after the duration
+	// and the analysis returns context.DeadlineExceeded. Zero means no
+	// deadline. Unlike Budget, a deadline is not deterministic — use it as
+	// a safety net, not as the degradation trigger.
+	Deadline time.Duration
 }
 
 // effectiveParallelism resolves the Parallelism knob: values below one
@@ -97,6 +187,12 @@ type LevelResult struct {
 	TotalMisses int64
 	// PerStatementCapacity attributes the capacity misses to statements.
 	PerStatementCapacity map[string]int64
+	// CapacityMissBounds and TotalMissBounds are the certified intervals
+	// around the corresponding counts. Exact results carry width-0
+	// intervals; bounded-tier results report the interval, with the point
+	// fields above pinned to the conservative upper bound.
+	CapacityMissBounds counting.Interval
+	TotalMissBounds    counting.Interval
 }
 
 // Stats records where the model spent its time and how many pieces it
@@ -155,6 +251,15 @@ type Stats struct {
 	CoalesceSubsumed        int64
 	CoalesceAdjacent        int64
 	CoalesceRedundantCons   int64
+
+	// BoundWidth holds, per cache level, the width of the certified total
+	// miss interval (TotalMissBounds.Width()). Exact results report zeros,
+	// so any nonzero entry is a visible tightness regression.
+	BoundWidth []int64
+	// BudgetUsed is the monotonic total of cost units charged by all
+	// counting operations of the call (observability only; limits are
+	// enforced per operation).
+	BudgetUsed int64
 }
 
 // merge adds the additive counters of o into s. Timing fields and the
@@ -187,8 +292,36 @@ type Result struct {
 	// UsedTraceFallback reports that the symbolic pipeline failed and the
 	// result was obtained by exact trace profiling instead.
 	UsedTraceFallback bool
-	// FallbackReason carries the error that triggered the trace fallback.
+	// FallbackReason carries the provenance of any degradation: the error
+	// that triggered the trace fallback, or the reason the bounded tier
+	// degraded an operation.
 	FallbackReason string
+	// Tier reports the degradation ladder rung that produced the result.
+	Tier Tier
+	// CompulsoryBounds is the certified interval around CompulsoryMisses
+	// (width 0 when the compulsory count is exact).
+	CompulsoryBounds counting.Interval
+}
+
+// finalizeBounds makes the bounds fields of every result coherent: any
+// level whose interval was not filled by a bounded path gets the width-0
+// interval of its exact counts, and Stats.BoundWidth is (re)derived from
+// the per-level total miss intervals.
+func (res *Result) finalizeBounds() {
+	if res.CompulsoryBounds == (counting.Interval{}) && res.CompulsoryMisses != 0 {
+		res.CompulsoryBounds = counting.Exact(res.CompulsoryMisses)
+	}
+	res.Stats.BoundWidth = make([]int64, len(res.Levels))
+	for i := range res.Levels {
+		lv := &res.Levels[i]
+		if lv.CapacityMissBounds == (counting.Interval{}) && lv.CapacityMisses != 0 {
+			lv.CapacityMissBounds = counting.Exact(lv.CapacityMisses)
+		}
+		if lv.TotalMissBounds == (counting.Interval{}) && lv.TotalMisses != 0 {
+			lv.TotalMissBounds = lv.CapacityMissBounds.Add(res.CompulsoryBounds)
+		}
+		res.Stats.BoundWidth[i] = lv.TotalMissBounds.Width()
+	}
 }
 
 // Analyze runs the cache model on a program. It is the single-shot
@@ -198,6 +331,14 @@ type Result struct {
 // hierarchies (design-space exploration) should call the phases directly and
 // reuse the DistanceModel, which amortizes the expensive distance phase.
 func Analyze(prog *scop.Program, cfg Config, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), prog, cfg, opts)
+}
+
+// AnalyzeContext is Analyze observing ctx: the analysis stops claiming work
+// promptly after cancellation and returns the context error. Options.
+// Deadline, when set, additionally bounds the wall-clock time of the whole
+// call (both phases share the deadline).
+func AnalyzeContext(ctx context.Context, prog *scop.Program, cfg Config, opts Options) (*Result, error) {
 	start := time.Now()
 	if cfg.LineSize <= 0 {
 		return nil, fmt.Errorf("core: line size must be positive")
@@ -205,11 +346,24 @@ func Analyze(prog *scop.Program, cfg Config, opts Options) (*Result, error) {
 	if len(cfg.CacheSizes) == 0 {
 		return nil, fmt.Errorf("core: at least one cache size is required")
 	}
-	dm, err := ComputeDistances(prog, cfg.LineSize, opts)
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+		// The per-phase calls below must not stack a second timeout.
+		opts.Deadline = 0
+	}
+	var dm *DistanceModel
+	var err error
+	if opts.Mode == ModeSim {
+		dm, err = ComputeDistancesByProfiling(prog, cfg.LineSize)
+	} else {
+		dm, err = ComputeDistancesContext(ctx, prog, cfg.LineSize, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	res, err := dm.CountMisses(cfg)
+	res, err := dm.CountMissesContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -218,21 +372,27 @@ func Analyze(prog *scop.Program, cfg Config, opts Options) (*Result, error) {
 }
 
 // totalAccesses counts the dynamic memory accesses of the program (the
-// length of its trace) symbolically.
-func totalAccesses(info *scop.PolyInfo) (int64, error) {
+// length of its trace) symbolically, together with the per-statement
+// instance counts (the bounded tier caps a degraded statement's capacity
+// misses by its instance count). The counts are deliberately unbudgeted:
+// iteration domains are the cheap denominators of the analysis, and every
+// certified bound of the bounded tier is anchored on them.
+func totalAccesses(info *scop.PolyInfo) (int64, map[string]int64, error) {
 	var total int64
+	perStmt := make(map[string]int64, len(info.Statements))
 	for _, ps := range info.Statements {
 		n, err := counting.CountSet(ps.Domain)
 		if err != nil {
 			// Fall back to enumeration of the iteration domain.
 			n, err = ps.Domain.CountByScan()
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 		}
+		perStmt[ps.Space.Name] += n
 		total += n
 	}
-	return total, nil
+	return total, perStmt, nil
 }
 
 // StatementDistance pairs a statement with the piecewise quasi-polynomial

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"haystack/internal/budget"
 	"haystack/internal/counting"
 	"haystack/internal/lexmin"
 	"haystack/internal/presburger"
@@ -122,10 +124,24 @@ type ParametricModel struct {
 // return an error wrapping ErrNonParametric; there is no trace fallback for
 // parametric programs (a trace requires a concrete size).
 func ComputeParametricModel(prog *scop.Program, lineSize int64, opts Options) (*ParametricModel, error) {
+	return ComputeParametricModelContext(context.Background(), prog, lineSize, opts)
+}
+
+// ComputeParametricModelContext is ComputeParametricModel observing ctx (and
+// Options.Deadline): the model construction aborts with the context error
+// promptly after cancellation.
+func ComputeParametricModelContext(ctx context.Context, prog *scop.Program, lineSize int64, opts Options) (*ParametricModel, error) {
 	start := time.Now()
 	if lineSize <= 0 {
 		return nil, fmt.Errorf("core: line size must be positive")
 	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+		opts.Deadline = 0
+	}
+	meter := budget.New(ctx, 0)
 	if !prog.IsParametric() {
 		return nil, fmt.Errorf("core: program %s has no parameters; use ComputeDistances", prog.Name)
 	}
@@ -166,8 +182,11 @@ func ComputeParametricModel(prog *scop.Program, lineSize int64, opts Options) (*
 	// concurrent model construction it can include hits of other models.
 	coalesceBase := presburger.CoalesceCountersSnapshot()
 	var fs frontierStats
-	distances, err := computeStackDistances(info, lineSize, effectiveParallelism(opts.Parallelism), &fs)
+	distances, _, err := computeStackDistances(ctx, info, lineSize, effectiveParallelism(opts.Parallelism), &fs, meter, false)
 	if err != nil {
+		if budget.IsCancellation(err) {
+			return nil, err
+		}
 		return nil, nonParametric("stack distances", err)
 	}
 	pm.distances = distances
@@ -317,7 +336,8 @@ func (pm *ParametricModel) missPolysFor(capacityLines int64) *missPolys {
 		if !ok {
 			continue
 		}
-		card, err := counting.CardBasicSetSummands(ms, len(pm.Params), pm.paramSpace, parametricCountBudget)
+		card, err := counting.CardBasicSetSummands(ms, len(pm.Params), pm.paramSpace,
+			budget.LimitOp("parametric piece count", parametricCountBudget))
 		if err != nil {
 			mp.extra = append(mp.extra, cp)
 			continue
@@ -422,22 +442,57 @@ func (pm *ParametricModel) Eval(cfg Config, bindings map[string]int64) (*Result,
 			totals[l] += n
 		}
 	}
+	// The parametric polynomial evaluations above are exact; piece results
+	// below accumulate onto these width-zero intervals (degraded pieces widen
+	// them under ModeBounded).
+	bounds := make([]counting.Interval, len(lines))
+	for l := range bounds {
+		bounds[l] = counting.Exact(totals[l])
+	}
+	var degradedReasons []string
+	bounded := pm.opts.Mode == ModeBounded
 	// Residual pieces: instantiate once, classify against all capacities in a
 	// single pass with the concrete counting engine.
 	countOpts := pm.opts
 	counter := newCapacityCounter(countOpts, &res.Stats)
+	counter.meter = budget.New(context.Background(), pm.opts.Budget)
+	countConcrete := func(stmt string, dom presburger.BasicSet, poly qpoly.QPoly, caps []int64) ([]int64, []counting.Interval, error) {
+		counter.op = counter.meter.Op("residual piece of " + stmt)
+		counts, err := counter.countPiece(dom, poly, caps, false)
+		if err == nil {
+			return counts, nil, nil
+		}
+		if !bounded || budget.IsCancellation(err) {
+			return nil, nil, fmt.Errorf("core: counting residual piece of %s: %w", stmt, err)
+		}
+		ivs, berr := counter.boundPiece(dom, poly, caps)
+		if berr != nil {
+			return nil, nil, fmt.Errorf("core: bounding residual piece of %s: %w", stmt, berr)
+		}
+		degradedReasons = append(degradedReasons, fmt.Sprintf("%s: residual piece bounded (%v)", stmt, err))
+		return nil, ivs, nil
+	}
 	for _, rp := range pm.residual {
 		dom, poly, ok := instantiatePiece(rp, point)
 		if !ok || dom.DefinitelyEmpty() {
 			continue
 		}
-		counts, err := counter.countPiece(dom, poly, lines, false)
+		counts, ivs, err := countConcrete(rp.stmt, dom, poly, lines)
 		if err != nil {
-			return nil, fmt.Errorf("core: counting residual piece of %s: %w", rp.stmt, err)
+			return nil, err
 		}
-		for l, n := range counts {
-			perStmt[l][rp.stmt] += n
-			totals[l] += n
+		if counts != nil {
+			for l, n := range counts {
+				perStmt[l][rp.stmt] += n
+				totals[l] += n
+				bounds[l] = bounds[l].Add(counting.Exact(n))
+			}
+			continue
+		}
+		for l, iv := range ivs {
+			perStmt[l][rp.stmt] = satAddCount(perStmt[l][rp.stmt], iv.Hi)
+			totals[l] = satAddCount(totals[l], iv.Hi)
+			bounds[l] = bounds[l].Add(iv)
 		}
 	}
 	// Affine pieces whose parametric count failed for a specific capacity.
@@ -447,22 +502,45 @@ func (pm *ParametricModel) Eval(cfg Config, bindings map[string]int64) (*Result,
 			if !ok || dom.DefinitelyEmpty() {
 				continue
 			}
-			counts, err := counter.countPiece(dom, poly, lines[l:l+1], false)
+			counts, ivs, err := countConcrete(rp.stmt, dom, poly, lines[l:l+1])
 			if err != nil {
-				return nil, fmt.Errorf("core: counting demoted piece of %s: %w", rp.stmt, err)
+				return nil, err
 			}
-			perStmt[l][rp.stmt] += counts[0]
-			totals[l] += counts[0]
+			if counts != nil {
+				perStmt[l][rp.stmt] += counts[0]
+				totals[l] += counts[0]
+				bounds[l] = bounds[l].Add(counting.Exact(counts[0]))
+				continue
+			}
+			perStmt[l][rp.stmt] = satAddCount(perStmt[l][rp.stmt], ivs[0].Hi)
+			totals[l] = satAddCount(totals[l], ivs[0].Hi)
+			bounds[l] = bounds[l].Add(ivs[0])
 		}
 	}
 	for i, size := range cfg.CacheSizes {
+		capBounds := bounds[i]
+		if !capBounds.IsExact() {
+			// Certified cap: capacity misses are repeat accesses, so they
+			// cannot exceed the non-compulsory access count. Exact counts are
+			// left untouched.
+			capBounds = capBounds.ClampHi(res.TotalAccesses - res.CompulsoryMisses)
+		}
+		total := capBounds.AddConst(res.CompulsoryMisses)
 		res.Levels = append(res.Levels, LevelResult{
 			CacheBytes:           size,
-			CapacityMisses:       totals[i],
-			TotalMisses:          totals[i] + res.CompulsoryMisses,
+			CapacityMisses:       capBounds.Hi,
+			TotalMisses:          total.Hi,
 			PerStatementCapacity: perStmt[i],
+			CapacityMissBounds:   capBounds,
+			TotalMissBounds:      total,
 		})
 	}
+	if len(degradedReasons) > 0 {
+		res.Tier = TierBounded
+		res.FallbackReason = degradationSummary(degradedReasons, counting.Exact(res.CompulsoryMisses))
+	}
+	res.finalizeBounds()
+	res.Stats.BudgetUsed += counter.meter.Total()
 	res.Stats.CapacityTime = time.Since(tCap)
 	res.Stats.TotalTime = time.Since(start)
 	return res, nil
@@ -488,6 +566,7 @@ func (pm *ParametricModel) Bind(bindings map[string]int64) (*DistanceModel, erro
 	dm.baseStats.NonAffineByAffineDims = map[int]int{}
 	dm.TotalAccesses = pm.TotalAccesses.EvalInt(point)
 	dm.CompulsoryMisses = pm.CompulsoryMisses.EvalInt(point)
+	dm.compulsoryBounds = counting.Exact(dm.CompulsoryMisses)
 	if pm.perStmtCompulsory != nil {
 		dm.perStmtCompulsory = evalCounts(pm.perStmtCompulsory, point)
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
 
+	"haystack/internal/budget"
 	"haystack/internal/counting"
 	"haystack/internal/lexmin"
 	"haystack/internal/parwork"
@@ -58,13 +60,19 @@ func ComputeStackDistances(info *scop.PolyInfo, lineSize int64) ([]StatementDist
 // counting of touched lines — spread over the given number of worker
 // goroutines. The result is bit-identical for every worker count.
 func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int) ([]StatementDistance, error) {
-	return computeStackDistances(info, lineSize, workers, nil)
+	dists, _, err := computeStackDistances(context.Background(), info, lineSize, workers, nil, nil, false)
+	return dists, err
 }
 
 // computeStackDistances is the implementation behind the public wrappers;
 // the optional tracker records the basic-map counts at every simplification
-// frontier for Stats reporting.
-func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs *frontierStats) ([]StatementDistance, error) {
+// frontier for Stats reporting. The meter budgets the touched-line counts
+// (nil = unlimited); ctx is observed between pipeline stages and between
+// counted maps. Under bounded mode a statement whose touched-line count
+// degrades is dropped from the returned distances and reported in the
+// degraded map (statement -> reason) instead of failing the phase; exact
+// mode keeps the legacy all-or-nothing contract and returns a nil map.
+func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize int64, workers int, fs *frontierStats, meter *budget.Meter, bounded bool) ([]StatementDistance, map[string]string, error) {
 	S := info.Schedule()
 	A := info.LineAccessMap(lineSize)
 	Sinv := S.Reverse()
@@ -73,15 +81,15 @@ func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs 
 	// Schedule values to accessed cache lines and back.
 	schedToLine, err := Sinv.ApplyRange(A)
 	if err != nil {
-		return nil, fmt.Errorf("core: building schedule-to-line map: %w", err)
+		return nil, nil, fmt.Errorf("core: building schedule-to-line map: %w", err)
 	}
 	equal, err := schedToLine.ApplyRange(schedToLine.Reverse())
 	if err != nil {
-		return nil, fmt.Errorf("core: building equal map: %w", err)
+		return nil, nil, fmt.Errorf("core: building equal map: %w", err)
 	}
 	equalMap, ok := equal.Get(scop.ScheduleSpaceName, scop.ScheduleSpaceName)
 	if !ok {
-		return nil, fmt.Errorf("core: program has no reuse at all (empty equal map)")
+		return nil, nil, fmt.Errorf("core: program has no reuse at all (empty equal map)")
 	}
 
 	// Backward-in-time accesses of the same line; the lexicographically
@@ -90,42 +98,48 @@ func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs 
 	// N⁻¹ directly with a lexmax is equivalent — see section 3.1 — and keeps
 	// every floor expression on the side of the target access, which is the
 	// side that survives the following compositions.)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	backwardEqual := equalMap.Intersect(presburger.LexGT(schedSpace))
 	backwardEqual = simplifyMap(backwardEqual, fs)
-	prevSched, err := lexmin.MapLexmaxWith(backwardEqual, workers)
+	prevSched, err := lexmin.MapLexmaxCtx(ctx, backwardEqual, workers)
 	if err != nil {
-		return nil, fmt.Errorf("core: previous-access lexmax: %w", err)
+		return nil, nil, fmt.Errorf("core: previous-access lexmax: %w", err)
 	}
 	prevSchedUnion := presburger.NewUnionMap().Add(simplifyMap(prevSched, fs))
 
 	// Convert schedule-value relations to statement-instance relations.
 	prev, err := composeAll(S, prevSchedUnion, Sinv, fs)
 	if err != nil {
-		return nil, fmt.Errorf("core: previous map composition: %w", err)
+		return nil, nil, fmt.Errorf("core: previous map composition: %w", err)
 	}
 	lexLE := presburger.NewUnionMap().Add(presburger.LexLE(schedSpace))
 	lexGE := presburger.NewUnionMap().Add(presburger.LexGE(schedSpace))
 
 	backward, err := composeAll(S, lexGE, Sinv, fs)
 	if err != nil {
-		return nil, fmt.Errorf("core: backward map: %w", err)
+		return nil, nil, fmt.Errorf("core: backward map: %w", err)
 	}
 	// forward = (S⁻¹ ∘ L⪯ ∘ S) ∘ N⁻¹: map to the previous access first, then
 	// to every instance executed at or after it.
 	afterPrev, err := composeAll(S, lexLE, Sinv, fs)
 	if err != nil {
-		return nil, fmt.Errorf("core: forward map: %w", err)
+		return nil, nil, fmt.Errorf("core: forward map: %w", err)
 	}
 	forward, err := prev.ApplyRange(afterPrev)
 	if err != nil {
-		return nil, fmt.Errorf("core: forward map composition: %w", err)
+		return nil, nil, fmt.Errorf("core: forward map composition: %w", err)
 	}
 	forward = simplifyUnion(forward, fs)
 
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	window := forward.Intersect(backward)
 	touched, err := window.ApplyRange(A)
 	if err != nil {
-		return nil, fmt.Errorf("core: touched lines composition: %w", err)
+		return nil, nil, fmt.Errorf("core: touched lines composition: %w", err)
 	}
 
 	// Count the distinct lines per statement instance: one piecewise
@@ -146,11 +160,12 @@ func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs 
 		name string
 		m    presburger.Map
 		card qpoly.PwQPoly
+		err  error // bounded mode: why this map's count degraded
 	}
 	var items []*cardItem
 	for _, name := range names {
 		if _, ok := info.StatementByName(name); !ok {
-			return nil, fmt.Errorf("core: unknown statement %s in touched-line map", name)
+			return nil, nil, fmt.Errorf("core: unknown statement %s in touched-line map", name)
 		}
 		for _, m := range byStatement[name] {
 			items = append(items, &cardItem{name: name, m: m})
@@ -189,25 +204,43 @@ func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs 
 			leader[idx] = idx
 		}
 	}
-	err = parwork.Run(len(items), workers, func(scheduled int) error {
+	err = parwork.RunCtx(ctx, len(items), workers, func(scheduled int) error {
 		idx := order[scheduled]
 		it := items[idx]
 		if leader[idx] != idx {
 			return nil // copied after the pool drains
 		}
-		card, err := counting.MapCard(simplifyMap(it.m, fs))
+		card, err := counting.MapCardOp(simplifyMap(it.m, fs), meter.Op("touched-line count of "+it.name))
 		if err != nil {
+			if bounded && !budget.IsCancellation(err) {
+				// Degrade the statement instead of the analysis; the caller
+				// answers it with certified instance-count bounds.
+				it.err = err
+				return nil
+			}
 			return fmt.Errorf("core: counting touched lines for %s -> %s: %w", it.name, it.m.OutSpace().Name, err)
 		}
 		it.card = card
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	// Leaders are structurally identical to their followers — same statement
+	// space, same map string — so copying a leader's failure only ever
+	// degrades the leader's own statement.
 	for idx, l := range leader {
 		if l != idx {
 			items[idx].card = items[l].card
+			items[idx].err = items[l].err
+		}
+	}
+	degraded := map[string]string{}
+	for _, it := range items {
+		if it.err != nil {
+			if _, ok := degraded[it.name]; !ok {
+				degraded[it.name] = it.err.Error()
+			}
 		}
 	}
 	totals := make(map[string]qpoly.PwQPoly, len(names))
@@ -216,15 +249,25 @@ func computeStackDistances(info *scop.PolyInfo, lineSize int64, workers int, fs 
 		totals[name] = qpoly.ZeroPw(ps.Space)
 	}
 	// items is ordered by (statement, map index), so this single pass folds
-	// every statement's cards in map order.
+	// every statement's cards in map order. A statement with any degraded
+	// map has no complete distance polynomial, so all its cards are dropped.
 	for _, it := range items {
+		if _, bad := degraded[it.name]; bad {
+			continue
+		}
 		totals[it.name] = totals[it.name].Add(it.card)
 	}
 	var result []StatementDistance
 	for _, name := range names {
+		if _, bad := degraded[name]; bad {
+			continue
+		}
 		result = append(result, StatementDistance{Statement: name, Distance: totals[name]})
 	}
-	return result, nil
+	if len(degraded) == 0 {
+		degraded = nil
+	}
+	return result, degraded, nil
 }
 
 // composeAll composes three union maps left to right (apply a, then b, then c).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"haystack/internal/polybench"
@@ -35,6 +36,39 @@ func BenchmarkSymbolicPolyBench(b *testing.B) {
 				}
 			}
 			b.ReportMetric(fallback, "fallback")
+		})
+	}
+}
+
+// BenchmarkBoundedPolyBench runs every kernel at MINI on the bounded tier
+// with a deliberately hostile one-unit per-operation budget and reports the
+// certified bound width of every cache level as a metric (width 0 = the
+// level stayed exact despite the budget). CI runs it with -benchtime 1x and
+// keeps the numbers in the uploaded wall-time artifact: a width that jumps
+// between runs means the degraded upper bound regressed (a box relaxation
+// got coarser) — a quality regression the sandwich soundness test cannot
+// see, since any wider interval still contains the exact count.
+func BenchmarkBoundedPolyBench(b *testing.B) {
+	cfg := DefaultConfig()
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	opts.Mode = ModeBounded
+	opts.Budget = 1
+	for _, k := range polybench.Kernels() {
+		k := k
+		b.Run(k.Name, func(b *testing.B) {
+			prog := k.Build(polybench.Mini)
+			var widths []int64
+			for i := 0; i < b.N; i++ {
+				res, err := Analyze(prog, cfg, opts)
+				if err != nil {
+					b.Fatalf("bounded Analyze: %v", err)
+				}
+				widths = res.Stats.BoundWidth
+			}
+			for l, w := range widths {
+				b.ReportMetric(float64(w), fmt.Sprintf("L%d-width", l+1))
+			}
 		})
 	}
 }

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"haystack/internal/budget"
+	"haystack/internal/counting"
 	"haystack/internal/presburger"
 	"haystack/internal/reusedist"
 	"haystack/internal/scop"
@@ -51,6 +55,18 @@ type DistanceModel struct {
 	profileOnce    sync.Once
 	profile        reusedist.Profile
 	profileErr     error
+
+	// Bounded-tier state (ModeBounded only). stmtInstances holds the exact
+	// per-statement instance counts — the anchor of every certified bound.
+	// compulsoryBounds is the certified interval around CompulsoryMisses
+	// (width 0 when exact). boundedStmts maps statements whose distance
+	// polynomial could not be derived to the degradation reason; their
+	// capacity misses are bounded by [0, instances]. boundedReason is set
+	// when the whole distance phase degraded (no distances at all).
+	stmtInstances    map[string]int64
+	compulsoryBounds counting.Interval
+	boundedStmts     map[string]string
+	boundedReason    string
 }
 
 // ComputeDistances runs the cache-independent phase of the analysis: it
@@ -64,6 +80,15 @@ type DistanceModel struct {
 // profile of the trace; results stay exact (CountMisses marks them with
 // UsedTraceFallback) and are still shared across hierarchies.
 func ComputeDistances(prog *scop.Program, lineSize int64, opts Options) (*DistanceModel, error) {
+	return ComputeDistancesContext(context.Background(), prog, lineSize, opts)
+}
+
+// ComputeDistancesContext is ComputeDistances observing ctx (and
+// opts.Deadline, when set): workers stop claiming items promptly after
+// cancellation and the context error is returned. Under ModeBounded,
+// operations that exceed opts.Budget or leave the supported fragment
+// degrade to certified bounds instead of failing the phase.
+func ComputeDistancesContext(ctx context.Context, prog *scop.Program, lineSize int64, opts Options) (*DistanceModel, error) {
 	start := time.Now()
 	if lineSize <= 0 {
 		return nil, fmt.Errorf("core: line size must be positive")
@@ -74,6 +99,12 @@ func ComputeDistances(prog *scop.Program, lineSize int64, opts Options) (*Distan
 	if err := preflight(prog, opts); err != nil {
 		return nil, err
 	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	meter := budget.New(ctx, opts.Budget)
 	dm := &DistanceModel{Kernel: prog.Name, LineSize: lineSize, opts: opts, prog: prog}
 	dm.baseStats.NonAffineByAffineDims = map[int]int{}
 
@@ -81,30 +112,71 @@ func ComputeDistances(prog *scop.Program, lineSize int64, opts Options) (*Distan
 	if err != nil {
 		return nil, err
 	}
-	dm.TotalAccesses, err = totalAccesses(info)
+	dm.TotalAccesses, dm.stmtInstances, err = totalAccesses(info)
 	if err != nil {
 		return nil, err
 	}
 
-	if symErr := dm.computeSymbolic(info); symErr != nil {
-		if !opts.TraceFallback {
+	if symErr := dm.computeSymbolic(ctx, info, meter); symErr != nil {
+		switch {
+		case budget.IsCancellation(symErr):
+			return nil, symErr
+		case opts.Mode == ModeBounded:
+			// Bounded tier, global degradation: no distance polynomials at
+			// all, but the instance counts stay exact and the compulsory
+			// misses are still attempted — every level's misses are then
+			// certifiably between the compulsory lower bound and the total
+			// access count.
+			if err := dm.degradeGlobal(info, meter, symErr); err != nil {
+				return nil, err
+			}
+		case opts.TraceFallback:
+			if err := dm.ensureProfile(); err != nil {
+				return nil, err
+			}
+			dm.fallbackReason = symErr.Error()
+			dm.distances = nil
+			dm.perStmtCompulsory = nil
+			// Discard any partial symbolic statistics (the stack distance
+			// stage may have succeeded before a later stage failed):
+			// fallback models answer from the profile, so their results
+			// must not carry distance-phase stats.
+			dm.baseStats = Stats{NonAffineByAffineDims: map[int]int{}}
+			dm.CompulsoryMisses = dm.profile.Compulsory
+		default:
 			return nil, symErr
 		}
-		if err := dm.ensureProfile(); err != nil {
-			return nil, err
-		}
-		dm.fallbackReason = symErr.Error()
-		dm.distances = nil
-		dm.perStmtCompulsory = nil
-		// Discard any partial symbolic statistics (the stack distance stage
-		// may have succeeded before a later stage failed): fallback models
-		// answer from the profile, so their results must not carry
-		// distance-phase stats.
-		dm.baseStats = Stats{NonAffineByAffineDims: map[int]int{}}
-		dm.CompulsoryMisses = dm.profile.Compulsory
 	}
+	dm.baseStats.BudgetUsed = meter.Total()
 	dm.computeTime = time.Since(start)
 	return dm, nil
+}
+
+// degradeGlobal switches the model to the bounded tier after a global
+// distance-phase failure: the compulsory misses are counted independently
+// of the failed stage (exactly if possible, as a certified interval
+// otherwise; [0, TotalAccesses] is always sound), and every capacity query
+// will answer with intervals anchored on the exact instance counts.
+func (dm *DistanceModel) degradeGlobal(info *scop.PolyInfo, meter *budget.Meter, symErr error) error {
+	dm.boundedReason = symErr.Error()
+	dm.distances = nil
+	A := info.LineAccessMap(dm.LineSize)
+	iv, err := counting.CountSetRangesInterval(A, meter.Op("compulsory count"), counting.DefaultMaxEnum)
+	if err != nil {
+		if budget.IsCancellation(err) {
+			return err
+		}
+		iv = counting.Interval{Lo: 0, Hi: dm.TotalAccesses}
+	}
+	iv = iv.ClampHi(dm.TotalAccesses)
+	dm.compulsoryBounds = iv
+	dm.CompulsoryMisses = iv.Hi
+	if iv.IsExact() {
+		if perStmt, err := attributeCompulsory(info, dm.LineSize); err == nil {
+			dm.perStmtCompulsory = perStmt
+		}
+	}
+	return nil
 }
 
 // ComputeDistancesByProfiling builds a DistanceModel from an exact stack
@@ -137,7 +209,7 @@ func ComputeDistancesByProfiling(prog *scop.Program, lineSize int64) (*DistanceM
 // computeSymbolic fills the model from the symbolic pipeline: stack
 // distances (section 3.1) and compulsory misses (section 3.4), together
 // with the coalescing statistics of the distance phase.
-func (dm *DistanceModel) computeSymbolic(info *scop.PolyInfo) error {
+func (dm *DistanceModel) computeSymbolic(ctx context.Context, info *scop.PolyInfo, meter *budget.Meter) error {
 	tStack := time.Now()
 	// The presburger coalescing counters are process-wide; the deltas
 	// around the distance phase attribute its hits to this model. Under
@@ -148,7 +220,8 @@ func (dm *DistanceModel) computeSymbolic(info *scop.PolyInfo) error {
 	// process-wide).
 	coalesceBase := presburger.CoalesceCountersSnapshot()
 	var fs frontierStats
-	distances, err := computeStackDistances(info, dm.LineSize, effectiveParallelism(dm.opts.Parallelism), &fs)
+	bounded := dm.opts.Mode == ModeBounded
+	distances, degraded, err := computeStackDistances(ctx, info, dm.LineSize, effectiveParallelism(dm.opts.Parallelism), &fs, meter, bounded)
 	if err != nil {
 		return err
 	}
@@ -165,16 +238,47 @@ func (dm *DistanceModel) computeSymbolic(info *scop.PolyInfo) error {
 		dm.baseStats.DistancePieces += d.Distance.NumPieces()
 	}
 	dm.distances = distances
+	dm.boundedStmts = degraded
 
 	tComp := time.Now()
-	compulsory, perStmt, err := CountCompulsoryMisses(info, dm.LineSize)
-	if err != nil {
-		return err
+	if bounded {
+		A := info.LineAccessMap(dm.LineSize)
+		iv, err := counting.CountSetRangesInterval(A, meter.Op("compulsory count"), counting.DefaultMaxEnum)
+		if err != nil {
+			if budget.IsCancellation(err) {
+				return err
+			}
+			iv = counting.Interval{Lo: 0, Hi: dm.TotalAccesses}
+		}
+		iv = iv.ClampHi(dm.TotalAccesses)
+		dm.compulsoryBounds = iv
+		dm.CompulsoryMisses = iv.Hi
+		if iv.IsExact() {
+			if perStmt, aerr := attributeCompulsory(info, dm.LineSize); aerr == nil {
+				dm.perStmtCompulsory = perStmt
+			}
+		}
+	} else {
+		compulsory, perStmt, err := CountCompulsoryMisses(info, dm.LineSize)
+		if err != nil {
+			return err
+		}
+		dm.CompulsoryMisses = compulsory
+		dm.perStmtCompulsory = perStmt
+		dm.compulsoryBounds = counting.Exact(compulsory)
 	}
-	dm.CompulsoryMisses = compulsory
-	dm.perStmtCompulsory = perStmt
 	dm.baseStats.CompulsoryTime = time.Since(tComp)
 	return nil
+}
+
+// Degraded reports the bounded-tier degradations of the distance phase:
+// the per-statement reasons (statements whose capacity misses are interval
+// bounded) or, for a global degradation, the single phase-wide reason.
+func (dm *DistanceModel) Degraded() map[string]string {
+	if dm.boundedReason != "" {
+		return map[string]string{"*": dm.boundedReason}
+	}
+	return dm.boundedStmts
 }
 
 // UsedTraceFallback reports whether the symbolic distance phase failed and
@@ -200,7 +304,14 @@ func (dm *DistanceModel) Distances() []StatementDistance { return dm.distances }
 // distances were computed for. The counting engine uses the parallelism of
 // the options the model was built with.
 func (dm *DistanceModel) CountMisses(cfg Config) (*Result, error) {
-	return dm.CountMissesWith(cfg, dm.opts.Parallelism)
+	return dm.countMisses(context.Background(), cfg, dm.opts.Parallelism)
+}
+
+// CountMissesContext is CountMisses observing ctx (and opts.Deadline):
+// counting workers stop claiming pieces promptly after cancellation and the
+// context error is returned.
+func (dm *DistanceModel) CountMissesContext(ctx context.Context, cfg Config) (*Result, error) {
+	return dm.countMisses(ctx, cfg, dm.opts.Parallelism)
 }
 
 // CountMissesWith is CountMisses with an explicit worker count for the
@@ -209,6 +320,15 @@ func (dm *DistanceModel) CountMisses(cfg Config) (*Result, error) {
 // goroutine count bounded; results are bit-identical for every worker
 // count.
 func (dm *DistanceModel) CountMissesWith(cfg Config, workers int) (*Result, error) {
+	return dm.countMisses(context.Background(), cfg, workers)
+}
+
+// CountMissesWithContext is CountMissesWith observing ctx.
+func (dm *DistanceModel) CountMissesWithContext(ctx context.Context, cfg Config, workers int) (*Result, error) {
+	return dm.countMisses(ctx, cfg, workers)
+}
+
+func (dm *DistanceModel) countMisses(ctx context.Context, cfg Config, workers int) (*Result, error) {
 	start := time.Now()
 	if cfg.LineSize != dm.LineSize {
 		return nil, fmt.Errorf("core: distance model was computed for line size %d, not %d", dm.LineSize, cfg.LineSize)
@@ -216,18 +336,42 @@ func (dm *DistanceModel) CountMissesWith(cfg Config, workers int) (*Result, erro
 	if len(cfg.CacheSizes) == 0 {
 		return nil, fmt.Errorf("core: at least one cache size is required")
 	}
+	if dm.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, dm.opts.Deadline)
+		defer cancel()
+	}
+	meter := budget.New(ctx, dm.opts.Budget)
 	res := &Result{Kernel: dm.Kernel, TotalAccesses: dm.TotalAccesses, Stats: dm.baseStats.clone()}
 	if dm.fallbackReason != "" {
 		dm.fillFromProfile(res, cfg)
 		res.UsedTraceFallback = true
 		res.FallbackReason = dm.fallbackReason
+		res.Tier = TierSimulated
+		res.finalizeBounds()
 		res.Stats.TotalTime = dm.computeTime + time.Since(start)
 		return res, nil
 	}
 	res.CompulsoryMisses = dm.CompulsoryMisses
+	res.CompulsoryBounds = dm.compulsoryBounds
+	if res.CompulsoryBounds == (counting.Interval{}) && res.CompulsoryMisses != 0 {
+		// Models built before the interval machinery (external constructors,
+		// tests) carry a zero-valued bounds field; the exact count is the
+		// width-zero interval.
+		res.CompulsoryBounds = counting.Exact(res.CompulsoryMisses)
+	}
 	res.PerStatementCompulsory = cloneCounts(dm.perStmtCompulsory)
-	if countErr := dm.countSymbolic(cfg, workers, res); countErr != nil {
-		if !dm.opts.TraceFallback {
+	if dm.boundedReason != "" {
+		// Global bounded tier: no distance polynomials exist. Every level's
+		// capacity misses lie between zero and the non-compulsory accesses,
+		// certifiably — capacity misses are repeat accesses by definition.
+		dm.fillFromInstanceBounds(res, cfg)
+		res.Stats.BudgetUsed = meter.Total()
+		res.Stats.TotalTime = dm.computeTime + time.Since(start)
+		return res, nil
+	}
+	if countErr := dm.countSymbolic(ctx, cfg, workers, res, meter); countErr != nil {
+		if budget.IsCancellation(countErr) || !dm.opts.TraceFallback || dm.opts.Mode == ModeBounded {
 			return nil, countErr
 		}
 		if err := dm.ensureProfile(); err != nil {
@@ -236,15 +380,42 @@ func (dm *DistanceModel) CountMissesWith(cfg Config, workers int) (*Result, erro
 		dm.fillFromProfile(res, cfg)
 		res.UsedTraceFallback = true
 		res.FallbackReason = countErr.Error()
+		res.Tier = TierSimulated
 	}
+	res.finalizeBounds()
+	res.Stats.BudgetUsed += meter.Total()
 	res.Stats.TotalTime = dm.computeTime + time.Since(start)
 	return res, nil
 }
 
+// fillFromInstanceBounds answers a hierarchy query for a globally degraded
+// bounded-tier model: per level, the capacity misses lie in
+// [0, accesses - compulsory_lo] and the total misses in
+// [compulsory_lo, accesses]. The point fields carry the conservative upper
+// bounds.
+func (dm *DistanceModel) fillFromInstanceBounds(res *Result, cfg Config) {
+	capBounds := counting.Interval{Lo: 0, Hi: dm.TotalAccesses - dm.compulsoryBounds.Lo}
+	res.Levels = res.Levels[:0]
+	for _, size := range cfg.CacheSizes {
+		total := capBounds.Add(res.CompulsoryBounds).ClampHi(dm.TotalAccesses)
+		res.Levels = append(res.Levels, LevelResult{
+			CacheBytes:         size,
+			CapacityMisses:     capBounds.Hi,
+			TotalMisses:        total.Hi,
+			CapacityMissBounds: capBounds,
+			TotalMissBounds:    total,
+		})
+	}
+	res.Tier = TierBounded
+	res.FallbackReason = dm.boundedReason
+	res.finalizeBounds()
+}
+
 // countSymbolic counts the capacity misses of every level with the shared
 // single-pass counting engine (Algorithm 1), fanned out over the given
-// number of workers.
-func (dm *DistanceModel) countSymbolic(cfg Config, workers int, res *Result) error {
+// number of workers. Under ModeBounded, pieces and statements that
+// degraded contribute certified intervals instead of failing.
+func (dm *DistanceModel) countSymbolic(ctx context.Context, cfg Config, workers int, res *Result, meter *budget.Meter) error {
 	tCap := time.Now()
 	lines := make([]int64, len(cfg.CacheSizes))
 	for i, size := range cfg.CacheSizes {
@@ -253,21 +424,82 @@ func (dm *DistanceModel) countSymbolic(cfg Config, workers int, res *Result) err
 	countOpts := dm.opts
 	countOpts.Parallelism = workers
 	counter := newCapacityCounter(countOpts, &res.Stats)
-	capMisses, perStmtCap, err := counter.Count(dm.distances, lines)
+	counter.meter = meter
+	counter.ctx = ctx
+	out, err := counter.Count(dm.distances, lines)
 	if err != nil {
 		return err
 	}
+	degradedReasons := append([]string(nil), out.degraded...)
+	// Statements whose distance polynomial degraded in the distance phase:
+	// their capacity misses are certifiably within [0, instances].
+	for _, stmt := range sortedKeys(dm.boundedStmts) {
+		n := dm.stmtInstances[stmt]
+		for l := range lines {
+			out.bounds[l] = out.bounds[l].Add(counting.Interval{Lo: 0, Hi: n})
+			out.perStmt[l][stmt] = n
+		}
+		degradedReasons = append(degradedReasons, fmt.Sprintf("%s: %s", stmt, dm.boundedStmts[stmt]))
+	}
+	// A degraded piece with no box bound reports a saturated per-statement
+	// count; the statement's instance count is always a certified cap.
+	for _, m := range out.perStmt {
+		for stmt, v := range m {
+			if n, ok := dm.stmtInstances[stmt]; ok && v > n {
+				m[stmt] = n
+			}
+		}
+	}
 	res.Levels = res.Levels[:0]
 	for i, size := range cfg.CacheSizes {
+		capBounds := out.bounds[i]
+		if !capBounds.IsExact() {
+			// Certified cap: capacity misses are repeat accesses, so they
+			// cannot exceed the non-compulsory access count. Exact counts are
+			// left untouched.
+			capBounds = capBounds.ClampHi(dm.TotalAccesses - dm.compulsoryBounds.Lo)
+		}
+		total := capBounds.Add(res.CompulsoryBounds).ClampHi(dm.TotalAccesses)
 		res.Levels = append(res.Levels, LevelResult{
 			CacheBytes:           size,
-			CapacityMisses:       capMisses[i],
-			TotalMisses:          capMisses[i] + res.CompulsoryMisses,
-			PerStatementCapacity: perStmtCap[i],
+			CapacityMisses:       capBounds.Hi,
+			TotalMisses:          total.Hi,
+			PerStatementCapacity: out.perStmt[i],
+			CapacityMissBounds:   capBounds,
+			TotalMissBounds:      total,
 		})
+	}
+	if len(degradedReasons) > 0 || !res.CompulsoryBounds.IsExact() {
+		res.Tier = TierBounded
+		res.FallbackReason = degradationSummary(degradedReasons, res.CompulsoryBounds)
 	}
 	res.Stats.CapacityTime = time.Since(tCap)
 	return nil
+}
+
+// degradationSummary folds the per-operation degradation reasons into one
+// provenance string (first reason plus a count; the full list would repeat
+// near-identical messages per piece).
+func degradationSummary(reasons []string, compulsory counting.Interval) string {
+	if !compulsory.IsExact() {
+		reasons = append([]string{fmt.Sprintf("compulsory misses bounded to %v", compulsory)}, reasons...)
+	}
+	if len(reasons) == 0 {
+		return ""
+	}
+	if len(reasons) == 1 {
+		return reasons[0]
+	}
+	return fmt.Sprintf("%s (and %d more degraded operations)", reasons[0], len(reasons)-1)
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // ensureProfile lazily computes the exact stack distance profile of the

@@ -3,6 +3,7 @@ package counting
 import (
 	"fmt"
 
+	"haystack/internal/budget"
 	"haystack/internal/presburger"
 	"haystack/internal/qpoly"
 )
@@ -12,7 +13,13 @@ import (
 // the total is the sum over all zero-dimensional summand pieces, so the
 // disjointness fold of CardBasicSet would be pure overhead here.
 func CountBasicSet(bs presburger.BasicSet) (int64, error) {
-	sum, err := CardBasicSetSummands(bs, 0, presburger.NewSpace(bs.Space().Name), 0)
+	return CountBasicSetOp(bs, nil)
+}
+
+// CountBasicSetOp is CountBasicSet charging the given budget operation
+// (one cost unit per intermediate elimination system; nil = unlimited).
+func CountBasicSetOp(bs presburger.BasicSet, op *budget.Op) (int64, error) {
+	sum, err := CardBasicSetSummands(bs, 0, presburger.NewSpace(bs.Space().Name), op)
 	if err != nil {
 		return 0, err
 	}
@@ -35,13 +42,19 @@ func CountBasicSet(bs presburger.BasicSet) (int64, error) {
 // CountSet returns the exact number of distinct integer points of the set.
 // Overlapping basic sets are made disjoint by subtraction before counting.
 func CountSet(s presburger.Set) (int64, error) {
+	return CountSetOp(s, nil)
+}
+
+// CountSetOp is CountSet charging the given budget operation (nil =
+// unlimited).
+func CountSetOp(s presburger.Set, op *budget.Op) (int64, error) {
 	disjoint, err := DisjointBasicSets(s)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
 	for _, bs := range disjoint {
-		n, err := CountBasicSet(bs)
+		n, err := CountBasicSetOp(bs, op)
 		if err != nil {
 			return 0, err
 		}
@@ -56,13 +69,19 @@ func CountSet(s presburger.Set) (int64, error) {
 // Overlapping basic sets are made disjoint by subtraction before counting,
 // so union semantics hold for every parameter value.
 func CardSet(s presburger.Set, nParam int, paramSpace presburger.Space) (qpoly.PwQPoly, error) {
+	return CardSetOp(s, nParam, paramSpace, nil)
+}
+
+// CardSetOp is CardSet charging the given budget operation (nil =
+// unlimited).
+func CardSetOp(s presburger.Set, nParam int, paramSpace presburger.Space, op *budget.Op) (qpoly.PwQPoly, error) {
 	disjoint, err := DisjointBasicSets(s)
 	if err != nil {
 		return qpoly.PwQPoly{}, err
 	}
 	total := qpoly.ZeroPw(paramSpace)
 	for _, bs := range disjoint {
-		card, err := CardBasicSet(bs, nParam, paramSpace)
+		card, err := CardBasicSetOp(bs, nParam, paramSpace, op)
 		if err != nil {
 			return qpoly.PwQPoly{}, err
 		}
@@ -157,13 +176,19 @@ func CardBasicMap(bm presburger.BasicMap) (qpoly.PwQPoly, error) {
 // related output points of the map (union semantics: an output point related
 // through several basic maps is counted once).
 func MapCard(m presburger.Map) (qpoly.PwQPoly, error) {
+	return MapCardOp(m, nil)
+}
+
+// MapCardOp is MapCard charging the given budget operation (nil =
+// unlimited).
+func MapCardOp(m presburger.Map, op *budget.Op) (qpoly.PwQPoly, error) {
 	disjoint, err := DisjointBasicMaps(m)
 	if err != nil {
 		return qpoly.PwQPoly{}, err
 	}
 	cards := make([]qpoly.PwQPoly, 0, len(disjoint))
 	for _, bm := range disjoint {
-		card, err := CardBasicMap(bm)
+		card, err := CardBasicSetOp(bm.AsSet(), bm.NIn(), bm.InSpace(), op)
 		if err != nil {
 			return qpoly.PwQPoly{}, err
 		}
@@ -209,6 +234,25 @@ func CountSetRanges(u presburger.UnionMap) (int64, error) {
 			return 0, err
 		}
 		total += n
+	}
+	return total, nil
+}
+
+// CountSetRangesInterval is the bounded-tier form of CountSetRanges: it
+// counts each range set with CountSetInterval and sums the per-set
+// intervals. The result is exact (width 0) whenever every per-set count is.
+func CountSetRangesInterval(u presburger.UnionMap, op *budget.Op, maxEnum int64) (Interval, error) {
+	ranges, err := u.Range()
+	if err != nil {
+		return Interval{}, err
+	}
+	total := Exact(0)
+	for _, s := range ranges.Sets() {
+		iv, err := CountSetInterval(s, op, maxEnum)
+		if err != nil {
+			return Interval{}, err
+		}
+		total = total.Add(iv)
 	}
 	return total, nil
 }

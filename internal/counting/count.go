@@ -1,37 +1,47 @@
 package counting
 
 import (
-	"errors"
 	"fmt"
 
+	"haystack/internal/budget"
 	"haystack/internal/ints"
 	"haystack/internal/presburger"
 	"haystack/internal/qpoly"
 )
 
-// ErrBudget reports that a budgeted parametric count exceeded its system
-// budget. The caller can fall back to a different counting strategy; the
-// result is never silently truncated.
-var ErrBudget = errors.New("counting: system budget exceeded")
+// ErrBudget reports that a budgeted count exceeded its cost limit. It is an
+// alias for budget.ErrExceeded, so errors.Is(err, ErrBudget) matches every
+// budget.Exceeded regardless of the stage that produced it. The caller can
+// fall back to a different counting strategy or to certified interval
+// bounds; the result is never silently truncated.
+var ErrBudget = budget.ErrExceeded
 
 // CardBasicSet counts the integer points of bs parametrically in its first
 // nParam dimensions: the result maps every value of the parameter dimensions
 // to the number of points of the remaining dimensions. The piece domains of
 // the result live in paramSpace (which must have nParam dimensions).
 func CardBasicSet(bs presburger.BasicSet, nParam int, paramSpace presburger.Space) (qpoly.PwQPoly, error) {
-	return CardBasicSetBudgeted(bs, nParam, paramSpace, 0)
+	return CardBasicSetOp(bs, nParam, paramSpace, nil)
 }
 
 // CardBasicSetBudgeted is CardBasicSet with a deterministic cap on the
 // number of intermediate systems the summation may fan out into (every
 // (lower bound, upper bound) pair of an eliminated dimension and every
 // residue class of a floor split produces one system). A budget of zero or
-// below means unlimited; exceeding a positive budget returns ErrBudget.
-// Callers with a cheaper exact fallback — like the parametric capacity
-// counter, which can instantiate a piece per evaluation instead — use the
-// budget to bound the one-time symbolic cost.
-func CardBasicSetBudgeted(bs presburger.BasicSet, nParam int, paramSpace presburger.Space, budget int) (qpoly.PwQPoly, error) {
-	summands, err := CardBasicSetSummands(bs, nParam, paramSpace, budget)
+// below means unlimited; exceeding a positive budget returns a
+// budget.Exceeded error matching ErrBudget. Callers with a cheaper exact
+// fallback — like the parametric capacity counter, which can instantiate a
+// piece per evaluation instead — use the budget to bound the one-time
+// symbolic cost.
+func CardBasicSetBudgeted(bs presburger.BasicSet, nParam int, paramSpace presburger.Space, cap int) (qpoly.PwQPoly, error) {
+	return CardBasicSetOp(bs, nParam, paramSpace, budget.LimitOp("parametric count", int64(cap)))
+}
+
+// CardBasicSetOp is CardBasicSet charging the given budget operation: one
+// cost unit per intermediate system of the summation. A nil op is
+// unlimited.
+func CardBasicSetOp(bs presburger.BasicSet, nParam int, paramSpace presburger.Space, op *budget.Op) (qpoly.PwQPoly, error) {
+	summands, err := CardBasicSetSummands(bs, nParam, paramSpace, op)
 	if err != nil {
 		return qpoly.PwQPoly{}, err
 	}
@@ -46,12 +56,14 @@ func CardBasicSetBudgeted(bs presburger.BasicSet, nParam int, paramSpace presbur
 	return result, nil
 }
 
-// CardBasicSetSummands is the sum form of CardBasicSetBudgeted: it returns
-// the per-system cardinalities as a qpoly.PwSum (overlapping domains, sum
+// CardBasicSetSummands is the sum form of CardBasicSetOp: it returns the
+// per-system cardinalities as a qpoly.PwSum (overlapping domains, sum
 // semantics) without the quadratic disjointness fold of CardBasicSet. For
 // counts that are only evaluated — never compared piecewise — this is
-// dramatically cheaper when the summation fans out into many systems.
-func CardBasicSetSummands(bs presburger.BasicSet, nParam int, paramSpace presburger.Space, budget int) (qpoly.PwSum, error) {
+// dramatically cheaper when the summation fans out into many systems. The
+// budget operation is charged one cost unit per intermediate system; a nil
+// op is unlimited.
+func CardBasicSetSummands(bs presburger.BasicSet, nParam int, paramSpace presburger.Space, op *budget.Op) (qpoly.PwSum, error) {
 	if paramSpace.Dim() != nParam {
 		panic("counting: parameter space arity mismatch")
 	}
@@ -67,7 +79,6 @@ func CardBasicSetSummands(bs presburger.BasicSet, nParam int, paramSpace presbur
 	presburger.DebugAssertBasicSet(trimmed, "redundancy elimination")
 	sys := newSystem(trimmed, nParam)
 	systems := []*system{sys}
-	processed := 0
 	// Sum the counted dimensions in a fan-out-minimizing order: every
 	// (lower, upper) bound pair and every residue class of a floor split
 	// multiplies the system count, so dimensions that are pinned by an
@@ -106,11 +117,10 @@ func CardBasicSetSummands(bs presburger.BasicSet, nParam int, paramSpace presbur
 				}
 			}
 			// The fan-out compounds across elimination rounds, so the budget
-			// is checked while a round accumulates, not after it: a single
+			// is charged while a round accumulates, not after it: a single
 			// round can otherwise burn minutes before the check runs.
-			processed += len(out)
-			if budget > 0 && processed > budget {
-				return qpoly.PwSum{}, fmt.Errorf("%w: %d systems while eliminating dimension %d", ErrBudget, processed, dim)
+			if err := op.Charge(int64(len(out))); err != nil {
+				return qpoly.PwSum{}, err
 			}
 		}
 		systems = next

@@ -23,6 +23,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -80,7 +81,9 @@ type Options struct {
 	// Analysis holds the model options of every evaluation. A
 	// non-positive Analysis.Parallelism is balanced against the outer pool
 	// (see DefaultOptions); a positive value fixes the inner parallelism of
-	// every analysis.
+	// every analysis. Analysis.Mode selects the degradation ladder rung of
+	// every grid point; ModeSim routes all variants (tiled and untiled)
+	// through exact trace profiling, like AnalyzeContext does.
 	Analysis core.Options
 	// Parallelism is the worker count of the sweep's outer pool, which fans
 	// out over configurations; zero or below selects the number of CPUs.
@@ -172,6 +175,13 @@ type modelJob struct {
 // Options.Analysis.TraceFallback enabled, programs outside the symbolic
 // fragment degrade to exact trace profiling instead of failing.
 func Sweep(grid Grid, opts Options) (*Result, error) {
+	return SweepContext(context.Background(), grid, opts)
+}
+
+// SweepContext is Sweep observing ctx: both worker pools stop claiming jobs
+// promptly after cancellation, the analyses themselves observe the context,
+// and the context error is returned.
+func SweepContext(ctx context.Context, grid Grid, opts Options) (*Result, error) {
 	start := time.Now()
 	if len(grid.Kernels) == 0 {
 		return nil, fmt.Errorf("explore: the grid has no kernels")
@@ -245,15 +255,15 @@ func Sweep(grid Grid, opts Options) (*Result, error) {
 			analysis.Parallelism = 1
 		}
 	}
-	err := parwork.Run(len(jobs), workers, func(idx int) error {
+	err := parwork.RunCtx(ctx, len(jobs), workers, func(idx int) error {
 		job := jobs[idx]
 		v := variants[job.variant]
 		var dm *core.DistanceModel
 		var err error
-		if v.tiled && opts.Tiled == TiledProfile {
+		if analysis.Mode == core.ModeSim || (v.tiled && opts.Tiled == TiledProfile) {
 			dm, err = core.ComputeDistancesByProfiling(v.program, job.lineSize)
 		} else {
-			dm, err = core.ComputeDistances(v.program, job.lineSize, analysis)
+			dm, err = core.ComputeDistancesContext(ctx, v.program, job.lineSize, analysis)
 		}
 		if err != nil {
 			return fmt.Errorf("explore: distances of %s (tile %d, line %d): %w",
@@ -314,11 +324,11 @@ func Sweep(grid Grid, opts Options) (*Result, error) {
 			countInner = 1
 		}
 	}
-	err = parwork.Run(len(uniqueEvals), workers, func(i int) error {
+	err = parwork.RunCtx(ctx, len(uniqueEvals), workers, func(i int) error {
 		e := &evals[uniqueEvals[i]]
 		v := variants[evalVariant[uniqueEvals[i]]]
 		dm := jobs[v.models[e.Hierarchy.LineSize]].model
-		res, err := dm.CountMissesWith(e.Hierarchy, countInner)
+		res, err := dm.CountMissesWithContext(ctx, e.Hierarchy, countInner)
 		if err != nil {
 			return fmt.Errorf("explore: counting %s (tile %d, caches %v): %w",
 				e.Kernel, e.TileSize, e.Hierarchy.CacheSizes, err)

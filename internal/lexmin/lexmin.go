@@ -13,6 +13,7 @@
 package lexmin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,21 +43,30 @@ func MapLexmin(m presburger.Map) (presburger.Map, error) { return MapLexminWith(
 // removing the all-pairs subtraction cascade that made triangular kernels
 // intractable.
 func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
-	return mapLexmin(m, workers, true)
+	return mapLexmin(context.Background(), m, workers, true)
+}
+
+// MapLexminCtx is MapLexminWith observing ctx: the computation checks for
+// cancellation between basic maps, between fold steps, and between the
+// output dimensions of each per-basic-map minimum, and returns the context
+// error promptly. The result is identical to MapLexminWith when the context
+// never fires.
+func MapLexminCtx(ctx context.Context, m presburger.Map, workers int) (presburger.Map, error) {
+	return mapLexmin(ctx, m, workers, true)
 }
 
 // mapLexminFlat is MapLexminWith without the domain partitioning: every
 // candidate folds into one accumulated relation. Kept as the reference
 // implementation for differential tests.
 func mapLexminFlat(m presburger.Map, workers int) (presburger.Map, error) {
-	return mapLexmin(m, workers, false)
+	return mapLexmin(context.Background(), m, workers, false)
 }
 
-func mapLexmin(m presburger.Map, workers int, partition bool) (presburger.Map, error) {
+func mapLexmin(ctx context.Context, m presburger.Map, workers int, partition bool) (presburger.Map, error) {
 	bms := m.Basics()
 	perBasic := make([][]presburger.BasicMap, len(bms))
-	err := parwork.Run(len(bms), workers, func(idx int) error {
-		pieces, err := basicLexmin(bms[idx])
+	err := parwork.RunCtx(ctx, len(bms), workers, func(idx int) error {
+		pieces, err := basicLexmin(ctx, bms[idx])
 		if err != nil {
 			return err
 		}
@@ -84,7 +94,7 @@ func mapLexmin(m presburger.Map, workers int, partition bool) (presburger.Map, e
 	result := presburger.EmptyMap(m.InSpace(), m.OutSpace())
 	first := true
 	for _, group := range groups {
-		folded, err := foldMin(group)
+		folded, err := foldMin(ctx, group)
 		if err != nil {
 			return presburger.Map{}, err
 		}
@@ -104,9 +114,12 @@ func mapLexmin(m presburger.Map, workers int, partition bool) (presburger.Map, e
 
 // foldMin combines the candidates of one chamber in their original order
 // (ties go to the earlier relation).
-func foldMin(group []presburger.Map) (presburger.Map, error) {
+func foldMin(ctx context.Context, group []presburger.Map) (presburger.Map, error) {
 	var result presburger.Map
 	for i, candidate := range group {
+		if err := ctx.Err(); err != nil {
+			return presburger.Map{}, err
+		}
 		if i == 0 {
 			result = candidate
 			continue
@@ -174,8 +187,13 @@ func MapLexmax(m presburger.Map) (presburger.Map, error) { return MapLexmaxWith(
 // MapLexmaxWith is MapLexmax computed by the given number of worker
 // goroutines (see MapLexminWith).
 func MapLexmaxWith(m presburger.Map, workers int) (presburger.Map, error) {
+	return MapLexmaxCtx(context.Background(), m, workers)
+}
+
+// MapLexmaxCtx is MapLexmaxWith observing ctx (see MapLexminCtx).
+func MapLexmaxCtx(ctx context.Context, m presburger.Map, workers int) (presburger.Map, error) {
 	neg := negateOutputs(m)
-	mn, err := MapLexminWith(neg, workers)
+	mn, err := MapLexminCtx(ctx, neg, workers)
 	if err != nil {
 		return presburger.Map{}, err
 	}
@@ -204,10 +222,13 @@ func negateOutputs(m presburger.Map) presburger.Map {
 
 // basicLexmin computes the lexicographic minimum of a single basic map as a
 // union of single-valued basic maps with pairwise disjoint domains.
-func basicLexmin(bm presburger.BasicMap) ([]presburger.BasicMap, error) {
+func basicLexmin(ctx context.Context, bm presburger.BasicMap) ([]presburger.BasicMap, error) {
 	pieces := []presburger.BasicMap{bm}
 	nIn, nOut := bm.NIn(), bm.NOut()
 	for d := 0; d < nOut; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next []presburger.BasicMap
 		for _, piece := range pieces {
 			split, err := pinDimension(piece, nIn, nOut, d)

@@ -5,14 +5,37 @@
 // caller-owned, index-addressed slots (no channels, no locks on the result
 // path), and after a failure the pool stops claiming new items. Callers keep
 // determinism by folding their per-item results in item order afterwards.
+//
+// Fault containment: a panicking work item is recovered, stamped with its
+// stack and work-item identity, and surfaced as a typed *PanicError — a
+// crashing item fails the pool like an erroring item instead of killing the
+// process. Cancellation: the Ctx variants observe a context between items,
+// so a runaway analysis stops claiming work promptly after cancellation.
 package parwork
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError reports a panic recovered from a work item. The pool survives:
+// sibling workers stop claiming new items and the error is returned like
+// any other item failure.
+type PanicError struct {
+	Item   int    // work item that panicked
+	Worker int    // worker id that ran the item
+	Value  any    // the recovered panic value
+	Stack  []byte // stack of the panicking goroutine at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parwork: panic on item %d (worker %d): %v\n%s", e.Item, e.Worker, e.Value, e.Stack)
+}
 
 // Run executes fn(0..n-1) on up to workers goroutines (values below one, or
 // above n, are clamped). When an item fails no further items are claimed and
@@ -20,7 +43,15 @@ import (
 // result to a caller-owned slot at the item index; it is called exactly once
 // per claimed item.
 func Run(n, workers int, fn func(item int) error) error {
-	_, err := run(n, workers, false, func(_, item int) error { return fn(item) })
+	_, err := run(context.Background(), n, workers, false, func(_, item int) error { return fn(item) })
+	return err
+}
+
+// RunCtx is Run observing ctx: no new item is claimed after ctx is
+// cancelled, and the context error is returned (items already running are
+// completed — fn observes cancellation itself if it needs mid-item aborts).
+func RunCtx(ctx context.Context, n, workers int, fn func(item int) error) error {
+	_, err := run(ctx, n, workers, false, func(_, item int) error { return fn(item) })
 	return err
 }
 
@@ -29,7 +60,12 @@ func Run(n, workers int, fn func(item int) error) error {
 // worker's busy time. It is used where per-worker accumulators avoid
 // contention and the coordinator merges them in worker order afterwards.
 func RunTimed(n, workers int, fn func(worker, item int) error) (times []time.Duration, err error) {
-	return run(n, workers, true, fn)
+	return run(context.Background(), n, workers, true, fn)
+}
+
+// RunTimedCtx is RunTimed observing ctx between items.
+func RunTimedCtx(ctx context.Context, n, workers int, fn func(worker, item int) error) (times []time.Duration, err error) {
+	return run(ctx, n, workers, true, fn)
 }
 
 // HardestFirst returns the permutation of 0..len(weights)-1 that orders
@@ -47,7 +83,18 @@ func HardestFirst(weights []int) []int {
 	return order
 }
 
-func run(n, workers int, timed bool, fn func(worker, item int) error) ([]time.Duration, error) {
+// protect invokes fn(worker, item), converting a panic into a *PanicError
+// so one crashing item cannot take down the process.
+func protect(fn func(worker, item int) error, worker, item int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Item: item, Worker: worker, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, item)
+}
+
+func run(ctx context.Context, n, workers int, timed bool, fn func(worker, item int) error) ([]time.Duration, error) {
 	if workers > n {
 		workers = n
 	}
@@ -56,11 +103,15 @@ func run(n, workers int, timed bool, fn func(worker, item int) error) ([]time.Du
 	}
 	if workers == 1 {
 		// Degenerate pool: run inline so single-threaded callers pay no
-		// goroutine or atomic overhead.
+		// goroutine or atomic overhead. Panic containment and cancellation
+		// semantics match the pooled path.
 		var times []time.Duration
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := protect(fn, 0, i); err != nil {
 				return nil, err
 			}
 		}
@@ -73,6 +124,7 @@ func run(n, workers int, timed bool, fn func(worker, item int) error) ([]time.Du
 	times := make([]time.Duration, workers)
 	var next atomic.Int64
 	var failed atomic.Bool
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -80,11 +132,15 @@ func run(n, workers int, timed bool, fn func(worker, item int) error) ([]time.Du
 			defer wg.Done()
 			start := time.Now()
 			for !failed.Load() {
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					break
+				}
 				item := int(next.Add(1)) - 1
 				if item >= n {
 					break
 				}
-				if err := fn(w, item); err != nil {
+				if err := protect(fn, w, item); err != nil {
 					errs[item] = err
 					failed.Store(true)
 					break
@@ -98,6 +154,9 @@ func run(n, workers int, timed bool, fn func(worker, item int) error) ([]time.Du
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
 	}
 	if !timed {
 		times = nil

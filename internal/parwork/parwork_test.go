@@ -1,6 +1,7 @@
 package parwork
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -94,6 +95,77 @@ func TestRunClampsWorkers(t *testing.T) {
 
 func TestRunZeroItems(t *testing.T) {
 	if err := Run(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicRecoveredAsTypedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := Run(100, workers, func(item int) error {
+			ran.Add(1)
+			if item == 7 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %T: %v", workers, err, err)
+		}
+		if pe.Item != 7 || pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: bad panic identity: %+v", workers, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error must carry the stack", workers)
+		}
+		if workers > 1 && ran.Load() == 100 {
+			t.Fatalf("workers=%d: siblings kept claiming after the panic", workers)
+		}
+	}
+}
+
+func TestPanicDoesNotMaskLowerIndexedError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Run(10, 1, func(item int) error {
+		if item == 3 {
+			return boom
+		}
+		if item > 3 {
+			panic("must not run past the failure")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the plain error", err)
+	}
+}
+
+func TestRunCtxObservesCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := RunCtx(ctx, 10000, workers, func(item int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		if n := ran.Load(); n > int32(3+workers) {
+			t.Fatalf("workers=%d: pool claimed %d items after cancellation", workers, n)
+		}
+	}
+}
+
+func TestRunCtxNilSafeDefaults(t *testing.T) {
+	if err := RunCtx(context.Background(), 5, 2, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTimedCtx(context.Background(), 5, 2, func(int, int) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 }

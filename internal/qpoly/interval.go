@@ -1,0 +1,167 @@
+package qpoly
+
+import (
+	"haystack/internal/ints"
+)
+
+// iv is a closed int64 interval used by the certified range analysis.
+type iv struct{ lo, hi int64 }
+
+// addIv returns a+b, failing on overflow (no saturation: a saturated bound
+// multiplied later would silently wrap inside Rat arithmetic).
+func addIv(a, b iv) (iv, bool) {
+	lo, ok1 := addChecked(a.lo, b.lo)
+	hi, ok2 := addChecked(a.hi, b.hi)
+	return iv{lo, hi}, ok1 && ok2
+}
+
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < a) || (a < 0 && b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// scaleIv returns c*a (interval endpoints swap for negative c).
+func scaleIv(c int64, a iv) (iv, bool) {
+	l, ok1 := mulChecked(c, a.lo)
+	h, ok2 := mulChecked(c, a.hi)
+	if !ok1 || !ok2 {
+		return iv{}, false
+	}
+	if c < 0 {
+		l, h = h, l
+	}
+	return iv{l, h}, true
+}
+
+// mulIv returns the product interval: the min/max over the four endpoint
+// products encloses x*y for all x in a, y in b.
+func mulIv(a, b iv) (iv, bool) {
+	cands := [4][2]int64{{a.lo, b.lo}, {a.lo, b.hi}, {a.hi, b.lo}, {a.hi, b.hi}}
+	var out iv
+	for i, c := range cands {
+		p, ok := mulChecked(c[0], c[1])
+		if !ok {
+			return iv{}, false
+		}
+		if i == 0 || p < out.lo {
+			out.lo = p
+		}
+		if i == 0 || p > out.hi {
+			out.hi = p
+		}
+	}
+	return out, true
+}
+
+// powIv returns an interval enclosing x^e for x in a. Even powers of an
+// interval spanning zero are tightened to a zero lower bound; otherwise
+// repeated interval multiplication is sound (possibly wider than the true
+// range, never narrower).
+func powIv(a iv, e int) (iv, bool) {
+	out := iv{1, 1}
+	ok := true
+	for i := 0; i < e; i++ {
+		out, ok = mulIv(out, a)
+		if !ok {
+			return iv{}, false
+		}
+	}
+	if e%2 == 0 && a.lo < 0 && a.hi > 0 && out.lo < 0 {
+		out.lo = 0
+	}
+	return out, true
+}
+
+// RangeOnBox returns certified bounds on the value of p over the integer
+// box lo[i] <= x_i <= hi[i] (both slices of length p.NVar): every point of
+// the box evaluates within [min, max]. The bounds come from interval
+// arithmetic over the terms and floor atoms of the quasi-polynomial — they
+// are sound but not necessarily tight. ok is false when the box is empty
+// or an intermediate value overflows int64 (no certified range available).
+//
+// The bounded tier uses this to decide a whole piece without enumerating
+// it: if max never exceeds the cache capacity the piece contributes zero
+// misses; if min always exceeds it every point of the piece misses.
+func (p QPoly) RangeOnBox(lo, hi []int64) (min, max ints.Rat, ok bool) {
+	if len(lo) != p.NVar || len(hi) != p.NVar {
+		panic("qpoly: RangeOnBox bounds arity mismatch")
+	}
+	cols := make([]iv, p.ncols())
+	for i := 0; i < p.NVar; i++ {
+		if lo[i] > hi[i] {
+			return ints.Rat{}, ints.Rat{}, false // empty box
+		}
+		cols[i] = iv{lo[i], hi[i]}
+	}
+	// Atoms reference only variables and earlier atoms, so a single forward
+	// pass resolves every column interval. Floor division by the positive
+	// denominator is monotone, so dividing the numerator endpoints is sound.
+	for i, a := range p.Atoms {
+		if a.Den <= 0 {
+			return ints.Rat{}, ints.Rat{}, false
+		}
+		num := iv{a.Num[0], a.Num[0]}
+		valid := true
+		for j := 1; j < len(a.Num); j++ {
+			c := a.Num[j]
+			if c == 0 {
+				continue
+			}
+			// Numerator layout is [const, vars..., atoms...]: entry j>0
+			// references column j-1 (variable or earlier atom alike).
+			scaled, ok1 := scaleIv(c, cols[j-1])
+			if !ok1 {
+				valid = false
+				break
+			}
+			num, ok1 = addIv(num, scaled)
+			if !ok1 {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			return ints.Rat{}, ints.Rat{}, false
+		}
+		cols[p.NVar+i] = iv{ints.FloorDiv(num.lo, a.Den), ints.FloorDiv(num.hi, a.Den)}
+	}
+	total := struct{ lo, hi ints.Rat }{ints.Rat{}, ints.Rat{}}
+	for _, t := range p.Terms {
+		prod := iv{1, 1}
+		for j, e := range t.Pow {
+			if e == 0 {
+				continue
+			}
+			pw, ok1 := powIv(cols[j], e)
+			if !ok1 {
+				return ints.Rat{}, ints.Rat{}, false
+			}
+			prod, ok1 = mulIv(prod, pw)
+			if !ok1 {
+				return ints.Rat{}, ints.Rat{}, false
+			}
+		}
+		tlo := t.Coef.Mul(ints.RatInt(prod.lo))
+		thi := t.Coef.Mul(ints.RatInt(prod.hi))
+		if t.Coef.Cmp(ints.Rat{}) < 0 {
+			tlo, thi = thi, tlo
+		}
+		total.lo = total.lo.Add(tlo)
+		total.hi = total.hi.Add(thi)
+	}
+	return total.lo, total.hi, true
+}

@@ -1,0 +1,87 @@
+package qpoly
+
+import (
+	"math/rand"
+	"testing"
+
+	"haystack/internal/ints"
+)
+
+// randomQPoly builds a random quasi-polynomial with nVar variables, up to
+// two floor atoms (each may reference variables and earlier atoms), and a
+// handful of terms with small rational coefficients.
+func randomQPoly(rng *rand.Rand, nVar int) QPoly {
+	p := Zero(nVar)
+	nAtoms := rng.Intn(3)
+	for a := 0; a < nAtoms; a++ {
+		num := make([]int64, 1+nVar+a)
+		for j := range num {
+			num[j] = int64(rng.Intn(7) - 3)
+		}
+		den := int64(rng.Intn(3) + 2)
+		p.Atoms = append(p.Atoms, Atom{Num: num, Den: den})
+	}
+	ncols := p.ncols()
+	nTerms := rng.Intn(4) + 1
+	for t := 0; t < nTerms; t++ {
+		pow := make([]int, ncols)
+		for budgetLeft := rng.Intn(4); budgetLeft > 0; budgetLeft-- {
+			pow[rng.Intn(ncols)]++
+		}
+		coef := ints.NewRat(int64(rng.Intn(9)-4), int64(rng.Intn(3)+1))
+		p.Terms = append(p.Terms, Term{Coef: coef, Pow: pow})
+	}
+	return p
+}
+
+// TestRangeOnBoxSound checks the certified range against brute-force
+// enumeration: every point of the box must evaluate within [min, max].
+func TestRangeOnBoxSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		nVar := rng.Intn(3) + 1
+		p := randomQPoly(rng, nVar)
+		lo := make([]int64, nVar)
+		hi := make([]int64, nVar)
+		for i := range lo {
+			lo[i] = int64(rng.Intn(7) - 4)
+			hi[i] = lo[i] + int64(rng.Intn(5))
+		}
+		min, max, ok := p.RangeOnBox(lo, hi)
+		if !ok {
+			continue // overflow bail-out is allowed, never unsound
+		}
+		point := make([]int64, nVar)
+		var walk func(d int)
+		walk = func(d int) {
+			if d == nVar {
+				v := p.Eval(point)
+				if min.Cmp(v) > 0 || v.Cmp(max) > 0 {
+					t.Fatalf("trial %d: value %v at %v outside certified range [%v, %v]\npoly: %v",
+						trial, v, point, min, max, p)
+				}
+				return
+			}
+			for x := lo[d]; x <= hi[d]; x++ {
+				point[d] = x
+				walk(d + 1)
+			}
+		}
+		walk(0)
+	}
+}
+
+func TestRangeOnBoxEmptyBox(t *testing.T) {
+	p := Var(1, 0)
+	if _, _, ok := p.RangeOnBox([]int64{2}, []int64{1}); ok {
+		t.Fatal("empty box must not yield a certified range")
+	}
+}
+
+func TestRangeOnBoxConstant(t *testing.T) {
+	p := ConstInt(2, 42)
+	min, max, ok := p.RangeOnBox([]int64{0, 0}, []int64{10, 10})
+	if !ok || min.Cmp(ints.RatInt(42)) != 0 || max.Cmp(ints.RatInt(42)) != 0 {
+		t.Fatalf("constant range = [%v, %v] ok=%v, want [42, 42]", min, max, ok)
+	}
+}
