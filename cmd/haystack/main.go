@@ -179,6 +179,8 @@ func main() {
 			s.PeakBasicMaps, s.BasicMapsBeforeCoalesce, s.BasicMapsAfterCoalesce)
 		fmt.Printf("coalescing hits: %d dedup, %d subsumed, %d adjacent/extension merges, %d redundant constraints dropped\n",
 			s.CoalesceDedup, s.CoalesceSubsumed, s.CoalesceAdjacent, s.CoalesceRedundantCons)
+		fmt.Printf("scheduling: %d steals, %d splits   coefficient arena: %d hits, %d misses\n",
+			s.Steals, s.Splits, s.ArenaHits, s.ArenaMisses)
 		fmt.Printf("tier: %s   budget charged: %d cost units (per-operation limit %d)\n", res.Tier, s.BudgetUsed, opts.Budget)
 		if len(s.BoundWidth) > 0 {
 			fmt.Printf("bound widths per level: %v (0 = exact)\n", s.BoundWidth)

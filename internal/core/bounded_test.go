@@ -166,6 +166,58 @@ func TestBoundedAdiNoTraceFallback(t *testing.T) {
 	}
 }
 
+// TestBoundedHugeGemmNoOverflow pins the int64 overflow fixes of the
+// counting layer: at a 2^20 problem size the distance polynomials carry
+// coefficients around n^2, and the cross products of the symbolic counter
+// (residue periods, bound-pair differences, RangeOnBox term products) leave
+// int64. These used to wrap silently or panic; they must now degrade to the
+// bounded tier via the checked-multiply helpers, so a huge-parameter gemm
+// analysis completes with certified, sane intervals. The budget is
+// unlimited on purpose — only the overflow path may degrade here.
+func TestBoundedHugeGemmNoOverflow(t *testing.T) {
+	const n = int64(1) << 20
+	prog := gemm(n)
+	opts := DefaultOptions()
+	opts.Mode = ModeBounded
+	opts.TraceFallback = false
+	cfg := Config{LineSize: 64, CacheSizes: []int64{32 * 1024, 1 << 20}}
+	res, err := Analyze(prog, cfg, opts)
+	if err != nil {
+		t.Fatalf("bounded Analyze of gemm(2^20): %v", err)
+	}
+	wantAccesses := 4*n*n*n + 2*n*n
+	if res.TotalAccesses != wantAccesses {
+		t.Errorf("total accesses %d, want %d", res.TotalAccesses, wantAccesses)
+	}
+	if res.UsedTraceFallback {
+		t.Fatalf("huge gemm fell back to trace profiling (%s)", res.FallbackReason)
+	}
+	if !res.CompulsoryBounds.Contains(res.CompulsoryMisses) ||
+		res.CompulsoryBounds.Lo < 0 || res.CompulsoryBounds.Hi > res.TotalAccesses {
+		t.Errorf("compulsory bounds %v invalid (point %d, accesses %d)",
+			res.CompulsoryBounds, res.CompulsoryMisses, res.TotalAccesses)
+	}
+	for l, lvl := range res.Levels {
+		b := lvl.CapacityMissBounds
+		if b.Lo < 0 || b.Hi < b.Lo || b.Hi > res.TotalAccesses {
+			t.Errorf("L%d capacity bounds %v invalid (accesses %d)", l+1, b, res.TotalAccesses)
+		}
+		if lvl.CapacityMisses < 0 || lvl.CapacityMisses != b.Hi {
+			t.Errorf("L%d capacity point %d does not match bound hi %v", l+1, lvl.CapacityMisses, b)
+		}
+		tb := lvl.TotalMissBounds
+		if tb.Lo < res.CompulsoryBounds.Lo || tb.Hi > res.TotalAccesses || tb.Hi < tb.Lo {
+			t.Errorf("L%d total bounds %v invalid (compulsory %v, accesses %d)",
+				l+1, tb, res.CompulsoryBounds, res.TotalAccesses)
+		}
+		for stmt, v := range lvl.PerStatementCapacity {
+			if v < 0 {
+				t.Errorf("L%d per-statement capacity of %s negative: %d", l+1, stmt, v)
+			}
+		}
+	}
+}
+
 // waitGoroutines polls until the goroutine count drops back to at most
 // base+slack or the timeout elapses, returning the last observed count.
 // Analysis workers exit asynchronously after a cancellation is returned, so

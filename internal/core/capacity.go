@@ -41,10 +41,20 @@ type capacityCounter struct {
 	// nil means unlimited and uncancellable, matching the legacy behaviour.
 	meter *budget.Meter
 	ctx   context.Context
-	// op is the budgeted operation of the piece currently being counted. It
-	// is set per work item by the (single-goroutine) worker owning this
-	// counter, never shared.
-	op *budget.Op
+	// exec is the caller-supplied executor for the piece fan-out (nil means
+	// Count builds a transient one from the options).
+	exec parwork.Exec
+	// The fields below exist only on the per-worker counters Count builds.
+	// w is the pool worker currently driving this counter (each counter is
+	// only ever used from its worker's goroutine); siblings is the full
+	// per-worker counter array, so a spawned sub-group item can pick the
+	// counter of whichever worker stole it; spawnOK gates chamber-level
+	// sub-piece spawning (exact mode with an unlimited meter only — a
+	// budgeted or bounded count keeps its strictly serial, deterministic
+	// per-operation accounting).
+	w        *parwork.Worker
+	siblings []*capacityCounter
+	spawnOK  bool
 }
 
 func newCapacityCounter(opts Options, stats *Stats) *capacityCounter {
@@ -102,7 +112,13 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 		ctx = context.Background()
 	}
 	bounded := cc.opts.Mode == ModeBounded
-	workers := effectiveParallelism(cc.opts.Parallelism)
+	ex := cc.exec
+	release := func() {}
+	if ex == nil {
+		ex, release = cc.opts.executor()
+	}
+	defer release()
+	workers := ex.Workers()
 	results := make([][]int64, len(items))
 	itemBounds := make([][]counting.Interval, len(items))
 	itemReasons := make([]string, len(items))
@@ -122,19 +138,27 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 	}
 	order := parwork.HardestFirst(weights)
 	// Every worker counts through its own capacityCounter so the pool never
-	// contends on statistics; the per-worker Stats are merged below.
+	// contends on statistics; the per-worker Stats are merged below. The
+	// counters share the siblings array so a chamber-level sub-piece stolen
+	// by another worker accumulates into the stealer's Stats (still additive
+	// and order-independent, so the merged totals stay bit-identical).
+	spawnOK := !bounded && cc.meter.Limit() == 0
 	workerStats := make([]Stats, workers)
 	counters := make([]*capacityCounter, workers)
 	for w := range counters {
 		workerStats[w].NonAffineByAffineDims = map[int]int{}
-		counters[w] = &capacityCounter{opts: cc.opts, stats: &workerStats[w], meter: cc.meter}
+		counters[w] = &capacityCounter{opts: cc.opts, stats: &workerStats[w], meter: cc.meter,
+			ctx: ctx, siblings: counters, spawnOK: spawnOK}
 	}
-	workerTimes, err := parwork.RunTimedCtx(ctx, len(items), workers, func(worker, scheduled int) error {
+	ps0 := ex.PoolStats()
+	workerTimes, err := ex.RunGroupTimed(ctx, len(items), func(w *parwork.Worker, scheduled int) error {
 		idx := order[scheduled]
 		stmt := distances[items[idx].stmt].Statement
-		c := counters[worker]
-		c.op = c.meter.Op("capacity piece of " + stmt)
-		counts, err := c.countPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines, true)
+		stage := "capacity piece of " + stmt
+		c := counters[w.ID()]
+		c.w = w
+		op := c.meter.Op(stage)
+		counts, err := c.countPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines, true, op, stage)
 		if err == nil {
 			results[idx] = counts
 			return nil
@@ -144,7 +168,7 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 		}
 		// Bounded tier: the exact count of this one piece degraded; answer
 		// it with certified interval bounds instead of failing the analysis.
-		ivs, berr := c.boundPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines)
+		ivs, berr := c.boundPiece(items[idx].piece.Domain, items[idx].piece.Poly, cacheLines, op)
 		if berr != nil {
 			return fmt.Errorf("core: bounding capacity misses of %s: %w", stmt, berr)
 		}
@@ -152,6 +176,9 @@ func (cc *capacityCounter) Count(distances []StatementDistance, cacheLines []int
 		itemReasons[idx] = fmt.Sprintf("%s: capacity piece bounded (%v)", stmt, err)
 		return nil
 	})
+	ps1 := ex.PoolStats()
+	cc.stats.Steals += ps1.Steals - ps0.Steals
+	cc.stats.Splits += ps1.Splits - ps0.Splits
 
 	if err != nil {
 		// On failure the set of completed pieces depends on scheduling, so
@@ -209,13 +236,13 @@ func satAddCount(a, b int64) int64 {
 // subset of the piece), refined by interval arithmetic on the polynomial
 // over the box: a range maximum at or below the capacity certifies zero
 // misses. Only cancellation can fail.
-func (cc *capacityCounter) boundPiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64) ([]counting.Interval, error) {
+func (cc *capacityCounter) boundPiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64, op *budget.Op) ([]counting.Interval, error) {
 	los := make([]int64, len(capacities))
 	var seen int64
 	complete := true
 	errEnumStop := errors.New("enumeration cap reached")
 	scanErr := domain.Scan(func(point []int64) error {
-		if err := cc.op.Err(); err != nil {
+		if err := op.Err(); err != nil {
 			return err
 		}
 		if seen >= counting.DefaultMaxEnum {
@@ -275,7 +302,7 @@ func (cc *capacityCounter) boundPiece(domain presburger.BasicSet, poly qpoly.QPo
 // individual capacities. topLevel marks the pieces of the original distance
 // set for the statistics (pieces created by the splitting strategies are not
 // classified again).
-func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64, topLevel bool) ([]int64, error) {
+func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64, topLevel bool, op *budget.Op, stage string) ([]int64, error) {
 	if topLevel {
 		if poly.Degree() <= 1 {
 			cc.stats.AffinePieces++
@@ -285,24 +312,24 @@ func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPo
 		}
 	}
 	if poly.Degree() <= 1 {
-		return cc.countAffinePiece(domain, poly, capacities)
+		return cc.countAffinePiece(domain, poly, capacities, op)
 	}
 	// Floor elimination (section 3.3).
 	if cc.opts.Equalization {
 		if pieces, ok := equalize(domain, poly); ok {
 			cc.stats.EqualizationSplits++
-			return cc.countSubPieces(pieces, capacities)
+			return cc.countSubPieces(pieces, capacities, op, stage)
 		}
 	}
 	if cc.opts.Rasterization {
 		if pieces, ok := rasterize(domain, poly); ok {
 			cc.stats.RasterizationSplits++
-			return cc.countSubPieces(pieces, capacities)
+			return cc.countSubPieces(pieces, capacities, op, stage)
 		}
 	}
 	// Partial enumeration (section 3.2).
 	if cc.opts.PartialEnumeration {
-		n, err := cc.partialEnumeration(domain, poly, capacities)
+		n, err := cc.partialEnumeration(domain, poly, capacities, op, stage)
 		if err == nil {
 			return n, nil
 		}
@@ -312,13 +339,42 @@ func (cc *capacityCounter) countPiece(domain presburger.BasicSet, poly qpoly.QPo
 			return nil, err
 		}
 	}
-	return cc.fullEnumeration(domain, poly, capacities)
+	return cc.fullEnumeration(domain, poly, capacities, op)
 }
 
-func (cc *capacityCounter) countSubPieces(pieces []splitPiece, capacities []int64) ([]int64, error) {
+// countSubPieces counts a split's sub-pieces and folds them in index order.
+// In exact mode with an unlimited meter the sub-pieces become chamber-level
+// work items on the analysis pool: equalization and rasterization routinely
+// split one heavy non-affine piece (a 3-D stencil chamber) into dozens of
+// residue pieces, and spawning them lets idle workers steal from what would
+// otherwise be one worker's multi-second tail. Each spawned sub-piece runs
+// on the counter (and Stats) of the worker that picked it up, under a fresh
+// operation with the same stage label; counts land index-addressed and fold
+// in order, so totals are bit-identical to the serial path.
+func (cc *capacityCounter) countSubPieces(pieces []splitPiece, capacities []int64, op *budget.Op, stage string) ([]int64, error) {
 	total := make([]int64, len(capacities))
+	if cc.spawnOK && cc.w != nil && cc.siblings != nil && len(pieces) > 1 && cc.w.Workers() > 1 {
+		results := make([][]int64, len(pieces))
+		err := cc.w.RunGroup(cc.ctx, len(pieces), func(sw *parwork.Worker, i int) error {
+			c := cc.siblings[sw.ID()]
+			c.w = sw
+			n, err := c.countPiece(pieces[i].domain, pieces[i].poly, capacities, false, c.meter.Op(stage), stage)
+			if err != nil {
+				return err
+			}
+			results[i] = n
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range results {
+			addCounts(total, n)
+		}
+		return total, nil
+	}
 	for _, p := range pieces {
-		n, err := cc.countPiece(p.domain, p.poly, capacities, false)
+		n, err := cc.countPiece(p.domain, p.poly, capacities, false, op, stage)
 		if err != nil {
 			return nil, err
 		}
@@ -347,7 +403,7 @@ func (cc *capacityCounter) affineDims(domain presburger.BasicSet, poly qpoly.QPo
 
 // countAffinePiece counts the points of the piece with distance > capacity
 // symbolically (countAffinePiece of Algorithm 1), for every capacity.
-func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64) ([]int64, error) {
+func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64, op *budget.Op) ([]int64, error) {
 	cc.stats.CountedPieces++
 	counts := make([]int64, len(capacities))
 	if c, ok := poly.IsConstant(); ok {
@@ -362,12 +418,12 @@ func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpo
 			}
 			if !counted {
 				var err error
-				n, err = counting.CountBasicSetOp(domain, cc.op)
+				n, err = counting.CountBasicSetOp(domain, op)
 				if err != nil {
 					if errors.Is(err, budget.ErrExceeded) || budget.IsCancellation(err) {
 						return nil, err
 					}
-					n, err = cc.scanCount(domain)
+					n, err = cc.scanCount(domain, op)
 					if err != nil {
 						return nil, err
 					}
@@ -408,14 +464,14 @@ func (cc *capacityCounter) countAffinePiece(domain presburger.BasicSet, poly qpo
 			// cheaper to establish than running the symbolic summation.
 			continue
 		}
-		n, err := counting.CountBasicSetOp(trimmed, cc.op)
+		n, err := counting.CountBasicSetOp(trimmed, op)
 		if err != nil {
 			if errors.Is(err, budget.ErrExceeded) || budget.IsCancellation(err) {
 				return nil, err
 			}
 			// The symbolic counter could not handle the piece; enumeration of
 			// the restricted set stays exact.
-			n, err = cc.scanCount(trimmed)
+			n, err = cc.scanCount(trimmed, op)
 			if err != nil {
 				return nil, err
 			}
@@ -516,7 +572,7 @@ func affineMissSet(domain presburger.BasicSet, poly qpoly.QPoly, capacity int64)
 // counts the remaining affine dimensions symbolically. The enumeration and
 // the per-point domain/polynomial specialization are shared by all
 // capacities.
-func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64) ([]int64, error) {
+func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64, op *budget.Op, stage string) ([]int64, error) {
 	enumDims := chooseEnumerationDims(poly)
 	if len(enumDims) == 0 || len(enumDims) >= domain.NDim() {
 		return nil, fmt.Errorf("core: no profitable partial enumeration split")
@@ -524,7 +580,7 @@ func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly q
 	enumDomain := projectOnto(domain, enumDims)
 	total := make([]int64, len(capacities))
 	err := enumDomain.Scan(func(point []int64) error {
-		if err := cc.op.Charge(1); err != nil {
+		if err := op.Charge(1); err != nil {
 			return err
 		}
 		cc.stats.PartialEnumerationPoints++
@@ -534,7 +590,7 @@ func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly q
 			boundDomain = boundDomain.FixDim(d, point[i])
 			boundPoly = boundPoly.BindVar(d, point[i])
 		}
-		n, err := cc.countPiece(boundDomain, boundPoly, capacities, false)
+		n, err := cc.countPiece(boundDomain, boundPoly, capacities, false, op, stage)
 		if err != nil {
 			return err
 		}
@@ -550,11 +606,11 @@ func (cc *capacityCounter) partialEnumeration(domain presburger.BasicSet, poly q
 // fullEnumeration walks every point of the piece and evaluates the
 // polynomial (the last resort of Algorithm 1). Every point is evaluated once
 // and the value classified against all capacities.
-func (cc *capacityCounter) fullEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64) ([]int64, error) {
+func (cc *capacityCounter) fullEnumeration(domain presburger.BasicSet, poly qpoly.QPoly, capacities []int64, op *budget.Op) ([]int64, error) {
 	cc.stats.CountedPieces++
 	total := make([]int64, len(capacities))
 	err := domain.Scan(func(point []int64) error {
-		if err := cc.op.Charge(1); err != nil {
+		if err := op.Charge(1); err != nil {
 			return err
 		}
 		cc.stats.FullEnumerationPoints++
@@ -575,10 +631,10 @@ func (cc *capacityCounter) fullEnumeration(domain presburger.BasicSet, poly qpol
 // scanCount counts the points of a basic set by enumeration, charging the
 // current operation one cost unit per point so an enumeration fallback
 // cannot silently blow past the budget the symbolic count just tripped.
-func (cc *capacityCounter) scanCount(bs presburger.BasicSet) (int64, error) {
+func (cc *capacityCounter) scanCount(bs presburger.BasicSet, op *budget.Op) (int64, error) {
 	var n int64
 	err := bs.Scan(func([]int64) error {
-		if err := cc.op.Charge(1); err != nil {
+		if err := op.Charge(1); err != nil {
 			return err
 		}
 		n++

@@ -20,6 +20,7 @@ import (
 
 	"haystack/internal/cachesim"
 	"haystack/internal/counting"
+	"haystack/internal/parwork"
 	"haystack/internal/qpoly"
 	"haystack/internal/reusedist"
 	"haystack/internal/scop"
@@ -163,6 +164,15 @@ type Options struct {
 	// deadline. Unlike Budget, a deadline is not deterministic — use it as
 	// a safety net, not as the degradation trigger.
 	Deadline time.Duration
+	// Exec, when non-nil, supplies the work-stealing executor the analysis
+	// schedules its chamber-level units on, overriding Parallelism. Callers
+	// running several analyses concurrently (design-space sweeps) pass a
+	// shared pool — or the *parwork.Worker executing the enclosing item —
+	// so one long-pole analysis fans out across whatever workers the
+	// others have freed. The executor is used only for the duration of the
+	// call and never retained. Results remain bit-identical for every
+	// executor shape.
+	Exec parwork.Exec
 }
 
 // effectiveParallelism resolves the Parallelism knob: values below one
@@ -172,6 +182,16 @@ func effectiveParallelism(p int) int {
 		return runtime.NumCPU()
 	}
 	return p
+}
+
+// executor resolves the executor of one analysis call: the caller-supplied
+// Exec when set (release is then a no-op — the caller owns it), otherwise a
+// transient executor sized by the Parallelism knob that release tears down.
+func (o Options) executor() (ex parwork.Exec, release func()) {
+	if o.Exec != nil {
+		return o.Exec, func() {}
+	}
+	return parwork.NewExec(effectiveParallelism(o.Parallelism))
 }
 
 // DefaultOptions enables every optimization.
@@ -230,11 +250,25 @@ type Stats struct {
 
 	// CapacityWorkers is the number of worker goroutines the capacity miss
 	// counting engine ran with; CapacityWorkerTime holds the busy time of
-	// every worker (indexed by worker id). All other counters of Stats are
-	// merged deterministically from the per-worker accumulators and do not
-	// depend on the parallelism level.
+	// every worker (indexed by worker id): the accumulated wall-clock time
+	// of the work items it executed, so an idle worker reports zero. All
+	// other counters of Stats are merged deterministically from the
+	// per-worker accumulators and do not depend on the parallelism level.
 	CapacityWorkers    int
 	CapacityWorkerTime []time.Duration
+
+	// Scheduler and arena observability. Steals counts work items claimed
+	// from another worker's deque and Splits counts work items that fanned
+	// out into nested sub-groups during this call; ArenaHits/ArenaMisses
+	// are the coefficient-scratch free-list counters of the presburger
+	// layer over the call. All four are scheduling- or cache-state-
+	// dependent (and, under a shared pool, attributed best-effort like the
+	// Coalesce* counters): they never affect results and are excluded from
+	// the bit-identity guarantees.
+	Steals      int64
+	Splits      int64
+	ArenaHits   int64
+	ArenaMisses int64
 
 	// Coalescing observability (distance phase). PeakBasicMaps is the
 	// largest basic-map count entering any simplification frontier of the

@@ -8,7 +8,9 @@ import (
 )
 
 // counterStats strips the timing and worker-pool bookkeeping from the stats,
-// leaving only the deterministic counters.
+// leaving only the deterministic counters. Steal/split counts depend on
+// scheduling and the arena counters on free-list state, so they are
+// observability, not part of the bit-identity contract.
 func counterStats(s Stats) Stats {
 	s.StackDistanceTime = 0
 	s.CapacityTime = 0
@@ -16,6 +18,10 @@ func counterStats(s Stats) Stats {
 	s.TotalTime = 0
 	s.CapacityWorkers = 0
 	s.CapacityWorkerTime = nil
+	s.Steals = 0
+	s.Splits = 0
+	s.ArenaHits = 0
+	s.ArenaMisses = 0
 	return s
 }
 
@@ -89,10 +95,19 @@ func TestParallelismKnobRecordedInStats(t *testing.T) {
 		t.Fatalf("CapacityWorkerTime has %d entries, want %d",
 			len(res.Stats.CapacityWorkerTime), res.Stats.CapacityWorkers)
 	}
+	// Busy time is per-item now, so a worker that never claims an item
+	// legitimately reports zero; at least one worker must have been busy.
+	var busy int
 	for i, d := range res.Stats.CapacityWorkerTime {
-		if d <= 0 {
-			t.Fatalf("worker %d busy time not populated: %v", i, d)
+		if d < 0 {
+			t.Fatalf("worker %d busy time negative: %v", i, d)
 		}
+		if d > 0 {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no worker recorded any busy time")
 	}
 }
 

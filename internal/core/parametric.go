@@ -162,6 +162,9 @@ func ComputeParametricModelContext(ctx context.Context, prog *scop.Program, line
 		paramSpace: info.ParamSpace(),
 		missCache:  map[int64]*missPolys{},
 	}
+	// Options.Exec is call scoped; the model outlives this call and must not
+	// retain the caller's executor.
+	pm.opts.Exec = nil
 	pm.baseStats.NonAffineByAffineDims = map[int]int{}
 
 	total := qpoly.ZeroPw(pm.paramSpace)
@@ -182,7 +185,9 @@ func ComputeParametricModelContext(ctx context.Context, prog *scop.Program, line
 	// concurrent model construction it can include hits of other models.
 	coalesceBase := presburger.CoalesceCountersSnapshot()
 	var fs frontierStats
-	distances, _, err := computeStackDistances(ctx, info, lineSize, effectiveParallelism(opts.Parallelism), &fs, meter, false)
+	ex, release := opts.executor()
+	distances, _, err := computeStackDistances(ctx, info, lineSize, ex, &fs, meter, false)
+	release()
 	if err != nil {
 		if budget.IsCancellation(err) {
 			return nil, err
@@ -457,15 +462,16 @@ func (pm *ParametricModel) Eval(cfg Config, bindings map[string]int64) (*Result,
 	counter := newCapacityCounter(countOpts, &res.Stats)
 	counter.meter = budget.New(context.Background(), pm.opts.Budget)
 	countConcrete := func(stmt string, dom presburger.BasicSet, poly qpoly.QPoly, caps []int64) ([]int64, []counting.Interval, error) {
-		counter.op = counter.meter.Op("residual piece of " + stmt)
-		counts, err := counter.countPiece(dom, poly, caps, false)
+		stage := "residual piece of " + stmt
+		op := counter.meter.Op(stage)
+		counts, err := counter.countPiece(dom, poly, caps, false, op, stage)
 		if err == nil {
 			return counts, nil, nil
 		}
 		if !bounded || budget.IsCancellation(err) {
 			return nil, nil, fmt.Errorf("core: counting residual piece of %s: %w", stmt, err)
 		}
-		ivs, berr := counter.boundPiece(dom, poly, caps)
+		ivs, berr := counter.boundPiece(dom, poly, caps, op)
 		if berr != nil {
 			return nil, nil, fmt.Errorf("core: bounding residual piece of %s: %w", stmt, berr)
 		}

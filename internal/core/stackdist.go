@@ -60,7 +60,9 @@ func ComputeStackDistances(info *scop.PolyInfo, lineSize int64) ([]StatementDist
 // counting of touched lines — spread over the given number of worker
 // goroutines. The result is bit-identical for every worker count.
 func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int) ([]StatementDistance, error) {
-	dists, _, err := computeStackDistances(context.Background(), info, lineSize, workers, nil, nil, false)
+	ex, release := parwork.NewExec(workers)
+	defer release()
+	dists, _, err := computeStackDistances(context.Background(), info, lineSize, ex, nil, nil, false)
 	return dists, err
 }
 
@@ -72,7 +74,7 @@ func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int)
 // degrades is dropped from the returned distances and reported in the
 // degraded map (statement -> reason) instead of failing the phase; exact
 // mode keeps the legacy all-or-nothing contract and returns a nil map.
-func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize int64, workers int, fs *frontierStats, meter *budget.Meter, bounded bool) ([]StatementDistance, map[string]string, error) {
+func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize int64, ex parwork.Exec, fs *frontierStats, meter *budget.Meter, bounded bool) ([]StatementDistance, map[string]string, error) {
 	S := info.Schedule()
 	A := info.LineAccessMap(lineSize)
 	Sinv := S.Reverse()
@@ -103,7 +105,7 @@ func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize in
 	}
 	backwardEqual := equalMap.Intersect(presburger.LexGT(schedSpace))
 	backwardEqual = simplifyMap(backwardEqual, fs)
-	prevSched, err := lexmin.MapLexmaxCtx(ctx, backwardEqual, workers)
+	prevSched, err := lexmin.MapLexmaxExec(ctx, backwardEqual, ex)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: previous-access lexmax: %w", err)
 	}
@@ -204,7 +206,7 @@ func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize in
 			leader[idx] = idx
 		}
 	}
-	err = parwork.RunCtx(ctx, len(items), workers, func(scheduled int) error {
+	err = ex.RunGroup(ctx, len(items), func(_ *parwork.Worker, scheduled int) error {
 		idx := order[scheduled]
 		it := items[idx]
 		if leader[idx] != idx {

@@ -9,6 +9,7 @@ import (
 
 	"haystack/internal/budget"
 	"haystack/internal/counting"
+	"haystack/internal/parwork"
 	"haystack/internal/presburger"
 	"haystack/internal/reusedist"
 	"haystack/internal/scop"
@@ -106,7 +107,12 @@ func ComputeDistancesContext(ctx context.Context, prog *scop.Program, lineSize i
 	}
 	meter := budget.New(ctx, opts.Budget)
 	dm := &DistanceModel{Kernel: prog.Name, LineSize: lineSize, opts: opts, prog: prog}
+	// Options.Exec is call scoped; the model outlives this call and must not
+	// retain the caller's executor (later CountMisses calls build their own).
+	dm.opts.Exec = nil
 	dm.baseStats.NonAffineByAffineDims = map[int]int{}
+	ex, release := opts.executor()
+	defer release()
 
 	info, err := scop.BuildPoly(prog)
 	if err != nil {
@@ -117,7 +123,7 @@ func ComputeDistancesContext(ctx context.Context, prog *scop.Program, lineSize i
 		return nil, err
 	}
 
-	if symErr := dm.computeSymbolic(ctx, info, meter); symErr != nil {
+	if symErr := dm.computeSymbolic(ctx, info, meter, ex); symErr != nil {
 		switch {
 		case budget.IsCancellation(symErr):
 			return nil, symErr
@@ -209,7 +215,7 @@ func ComputeDistancesByProfiling(prog *scop.Program, lineSize int64) (*DistanceM
 // computeSymbolic fills the model from the symbolic pipeline: stack
 // distances (section 3.1) and compulsory misses (section 3.4), together
 // with the coalescing statistics of the distance phase.
-func (dm *DistanceModel) computeSymbolic(ctx context.Context, info *scop.PolyInfo, meter *budget.Meter) error {
+func (dm *DistanceModel) computeSymbolic(ctx context.Context, info *scop.PolyInfo, meter *budget.Meter, ex parwork.Exec) error {
 	tStack := time.Now()
 	// The presburger coalescing counters are process-wide; the deltas
 	// around the distance phase attribute its hits to this model. Under
@@ -219,9 +225,11 @@ func (dm *DistanceModel) computeSymbolic(ctx context.Context, info *scop.PolyInf
 	// exact partition (CoalesceCountersSnapshot itself stays exact
 	// process-wide).
 	coalesceBase := presburger.CoalesceCountersSnapshot()
+	arenaBase := presburger.ArenaCountersSnapshot()
+	poolBase := ex.PoolStats()
 	var fs frontierStats
 	bounded := dm.opts.Mode == ModeBounded
-	distances, degraded, err := computeStackDistances(ctx, info, dm.LineSize, effectiveParallelism(dm.opts.Parallelism), &fs, meter, bounded)
+	distances, degraded, err := computeStackDistances(ctx, info, dm.LineSize, ex, &fs, meter, bounded)
 	if err != nil {
 		return err
 	}
@@ -234,6 +242,15 @@ func (dm *DistanceModel) computeSymbolic(ctx context.Context, info *scop.PolyInf
 	dm.baseStats.CoalesceSubsumed = hits.Subsumed
 	dm.baseStats.CoalesceAdjacent = hits.Adjacent
 	dm.baseStats.CoalesceRedundantCons = hits.RedundantConstraints
+	// Arena and scheduler counters are process-wide like the coalesce
+	// counters; the deltas attribute this phase's activity to the model,
+	// with the same overlap caveat under concurrent ComputeDistances calls.
+	arena := presburger.ArenaCountersSnapshot().Sub(arenaBase)
+	dm.baseStats.ArenaHits = arena.Hits
+	dm.baseStats.ArenaMisses = arena.Misses
+	pool := ex.PoolStats()
+	dm.baseStats.Steals = pool.Steals - poolBase.Steals
+	dm.baseStats.Splits = pool.Splits - poolBase.Splits
 	for _, d := range distances {
 		dm.baseStats.DistancePieces += d.Distance.NumPieces()
 	}
@@ -304,14 +321,14 @@ func (dm *DistanceModel) Distances() []StatementDistance { return dm.distances }
 // distances were computed for. The counting engine uses the parallelism of
 // the options the model was built with.
 func (dm *DistanceModel) CountMisses(cfg Config) (*Result, error) {
-	return dm.countMisses(context.Background(), cfg, dm.opts.Parallelism)
+	return dm.countMisses(context.Background(), cfg, dm.opts.Parallelism, nil)
 }
 
 // CountMissesContext is CountMisses observing ctx (and opts.Deadline):
 // counting workers stop claiming pieces promptly after cancellation and the
 // context error is returned.
 func (dm *DistanceModel) CountMissesContext(ctx context.Context, cfg Config) (*Result, error) {
-	return dm.countMisses(ctx, cfg, dm.opts.Parallelism)
+	return dm.countMisses(ctx, cfg, dm.opts.Parallelism, nil)
 }
 
 // CountMissesWith is CountMisses with an explicit worker count for the
@@ -320,15 +337,25 @@ func (dm *DistanceModel) CountMissesContext(ctx context.Context, cfg Config) (*R
 // goroutine count bounded; results are bit-identical for every worker
 // count.
 func (dm *DistanceModel) CountMissesWith(cfg Config, workers int) (*Result, error) {
-	return dm.countMisses(context.Background(), cfg, workers)
+	return dm.countMisses(context.Background(), cfg, workers, nil)
 }
 
 // CountMissesWithContext is CountMissesWith observing ctx.
 func (dm *DistanceModel) CountMissesWithContext(ctx context.Context, cfg Config, workers int) (*Result, error) {
-	return dm.countMisses(ctx, cfg, workers)
+	return dm.countMisses(ctx, cfg, workers, nil)
 }
 
-func (dm *DistanceModel) countMisses(ctx context.Context, cfg Config, workers int) (*Result, error) {
+// CountMissesExec is CountMissesContext scheduling the counting engine on
+// the given executor instead of spinning up workers of its own. Callers
+// that already run on a pool (internal/explore sweeps) pass their Worker so
+// capacity pieces become stealable units of the shared pool. The executor
+// is used only for the duration of the call and never retained; results are
+// bit-identical for every executor shape.
+func (dm *DistanceModel) CountMissesExec(ctx context.Context, cfg Config, ex parwork.Exec) (*Result, error) {
+	return dm.countMisses(ctx, cfg, dm.opts.Parallelism, ex)
+}
+
+func (dm *DistanceModel) countMisses(ctx context.Context, cfg Config, workers int, ex parwork.Exec) (*Result, error) {
 	start := time.Now()
 	if cfg.LineSize != dm.LineSize {
 		return nil, fmt.Errorf("core: distance model was computed for line size %d, not %d", dm.LineSize, cfg.LineSize)
@@ -370,7 +397,7 @@ func (dm *DistanceModel) countMisses(ctx context.Context, cfg Config, workers in
 		res.Stats.TotalTime = dm.computeTime + time.Since(start)
 		return res, nil
 	}
-	if countErr := dm.countSymbolic(ctx, cfg, workers, res, meter); countErr != nil {
+	if countErr := dm.countSymbolic(ctx, cfg, workers, ex, res, meter); countErr != nil {
 		if budget.IsCancellation(countErr) || !dm.opts.TraceFallback || dm.opts.Mode == ModeBounded {
 			return nil, countErr
 		}
@@ -415,7 +442,7 @@ func (dm *DistanceModel) fillFromInstanceBounds(res *Result, cfg Config) {
 // single-pass counting engine (Algorithm 1), fanned out over the given
 // number of workers. Under ModeBounded, pieces and statements that
 // degraded contribute certified intervals instead of failing.
-func (dm *DistanceModel) countSymbolic(ctx context.Context, cfg Config, workers int, res *Result, meter *budget.Meter) error {
+func (dm *DistanceModel) countSymbolic(ctx context.Context, cfg Config, workers int, ex parwork.Exec, res *Result, meter *budget.Meter) error {
 	tCap := time.Now()
 	lines := make([]int64, len(cfg.CacheSizes))
 	for i, size := range cfg.CacheSizes {
@@ -426,7 +453,12 @@ func (dm *DistanceModel) countSymbolic(ctx context.Context, cfg Config, workers 
 	counter := newCapacityCounter(countOpts, &res.Stats)
 	counter.meter = meter
 	counter.ctx = ctx
+	counter.exec = ex
+	arenaBase := presburger.ArenaCountersSnapshot()
 	out, err := counter.Count(dm.distances, lines)
+	arena := presburger.ArenaCountersSnapshot().Sub(arenaBase)
+	res.Stats.ArenaHits += arena.Hits
+	res.Stats.ArenaMisses += arena.Misses
 	if err != nil {
 		return err
 	}

@@ -319,15 +319,31 @@ func (s *system) residueFeasible(dim int, period, r int64) bool {
 		if a == 0 {
 			continue
 		}
-		g := a * period
+		// All products are overflow-checked: this is a pre-filter, and a
+		// wrapped product could silently reject a feasible residue class
+		// (wrong counts), so on overflow we make no claim instead.
+		g, ok := ints.TryMul(a, period)
+		if !ok {
+			return true
+		}
 		for j := 1; j < len(cc); j++ {
 			if j == col {
 				continue
 			}
 			g = ints.GCD(g, cc[j])
 		}
-		if g > 1 && (cc[0]+a*r)%g != 0 {
-			return false
+		if g > 1 {
+			ar, ok := ints.TryMul(a, r)
+			if !ok {
+				return true
+			}
+			k, ok := ints.TryAdd(cc[0], ar)
+			if !ok {
+				return true
+			}
+			if k%g != 0 {
+				return false
+			}
 		}
 	}
 	return true
@@ -339,21 +355,41 @@ func (s *system) residueFeasible(dim int, period, r int64) bool {
 func (s *system) substituteProgression(dim int, period, r int64) (*system, error) {
 	out := s.clone()
 	col := out.dimCol(dim)
+	// The substituted coefficients a*period and constants c0 + a*r are
+	// overflow-checked: a silent wrap here fabricates a different residue
+	// system and corrupts counts, so overflow degrades to ErrUnsupported
+	// (the caller falls back to enumeration or the bounded tier).
+	subst := func(v presburger.Vec) (presburger.Vec, error) {
+		a := v[col]
+		if a == 0 {
+			return v, nil
+		}
+		ar, ok1 := ints.TryMul(a, r)
+		ap, ok2 := ints.TryMul(a, period)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("%w: int64 overflow substituting progression with coefficient %d and period %d", ErrUnsupported, a, period)
+		}
+		k, ok := ints.TryAdd(v[0], ar)
+		if !ok {
+			return nil, fmt.Errorf("%w: int64 overflow substituting progression constant", ErrUnsupported)
+		}
+		v[0] = k
+		v[col] = ap
+		return v, nil
+	}
 	// Constraints.
 	for i := range out.cons {
-		c := out.cons[i].C.Resized(out.ncols())
-		if a := c[col]; a != 0 {
-			c[0] += a * r
-			c[col] = a * period
+		c, err := subst(out.cons[i].C.Resized(out.ncols()))
+		if err != nil {
+			return nil, err
 		}
 		out.cons[i].C = c
 	}
 	// Div numerators.
 	for i := range out.divs {
-		num := out.divs[i].Num.Resized(out.ncols())
-		if a := num[col]; a != 0 {
-			num[0] += a * r
-			num[col] = a * period
+		num, err := subst(out.divs[i].Num.Resized(out.ncols()))
+		if err != nil {
+			return nil, err
 		}
 		out.divs[i].Num = num
 	}
@@ -375,10 +411,17 @@ func (s *system) substituteProgression(dim int, period, r int64) (*system, error
 		// Replace references to div i by (a/den)*t + newDiv.
 		oldCol := out.divCol(i)
 		factor := a / den
+		overflow := false
 		replace := func(v presburger.Vec) presburger.Vec {
 			v = v.Resized(out.ncols())
 			if k := v[oldCol]; k != 0 {
-				v[col] += k * factor
+				kf, ok1 := ints.TryMul(k, factor)
+				nc, ok2 := ints.TryAdd(v[col], kf)
+				if !ok1 || !ok2 {
+					overflow = true
+					return v
+				}
+				v[col] = nc
 				v[newCol] += k
 				v[oldCol] = 0
 			}
@@ -392,6 +435,9 @@ func (s *system) substituteProgression(dim int, period, r int64) (*system, error
 				continue
 			}
 			out.divs[j].Num = replace(out.divs[j].Num)
+		}
+		if overflow {
+			return nil, fmt.Errorf("%w: int64 overflow rewriting div references under progression substitution", ErrUnsupported)
 		}
 		// Neutralize the old div so it no longer depends on dim (it is now
 		// unreferenced).
@@ -412,16 +458,24 @@ func (s *system) substituteProgression(dim int, period, r int64) (*system, error
 		idx := idxs[len(idxs)-1] // the highest dim-dependent atom is referenced by no other atom
 		a := poly.Atoms[idx]
 		coef := a.Num[1+dim]
-		if coef*period%a.Den != 0 {
-			return nil, fmt.Errorf("%w: polynomial atom coefficient %d not divisible by %d", ErrUnsupported, coef*period, a.Den)
+		coefPeriod, ok1 := ints.TryMul(coef, period)
+		coefR, ok2 := ints.TryMul(coef, r)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("%w: int64 overflow in atom coefficient %d under period %d", ErrUnsupported, coef, period)
+		}
+		if coefPeriod%a.Den != 0 {
+			return nil, fmt.Errorf("%w: polynomial atom coefficient %d not divisible by %d", ErrUnsupported, coefPeriod, a.Den)
 		}
 		// floor((coef*(P*t+r) + rest)/den) = (coef*P/den)*t + floor((coef*r + rest)/den).
 		restNum := append([]int64(nil), a.Num...)
 		restNum[1+dim] = 0
-		restNum[0] += coef * r
+		rest0, ok := ints.TryAdd(restNum[0], coefR)
+		if !ok {
+			return nil, fmt.Errorf("%w: int64 overflow in atom constant under progression substitution", ErrUnsupported)
+		}
+		restNum[0] = rest0
 		carrier, newIdx := poly.WithAtom(restNum, a.Den)
-		repl := carrier.AtomPoly(newIdx).Add(qpoly.Var(poly.NVar, dim).Scale(ints.RatInt(coef * period / a.Den)))
-		var ok bool
+		repl := carrier.AtomPoly(newIdx).Add(qpoly.Var(poly.NVar, dim).Scale(ints.RatInt(coefPeriod / a.Den)))
 		poly, ok = poly.SubstituteAtom(idx, repl)
 		if !ok {
 			return nil, fmt.Errorf("%w: atom substitution failed", ErrUnsupported)
@@ -580,6 +634,26 @@ func (s *system) sumBetweenBounds(dim int, lowers, uppers []presburger.Constrain
 		return coef, e
 	}
 
+	// crossDiff builds a*x - b*y per column with overflow-checked products:
+	// the bound pair cross-multiplies are the largest intermediates of the
+	// counting pipeline (coefficient × coefficient), and a wrapped value
+	// here silently flips a dominance constraint.
+	crossDiff := func(a int64, x presburger.Vec, b int64, y presburger.Vec) (presburger.Vec, error) {
+		c := presburger.NewVec(out.ncols())
+		xr := x.Resized(out.ncols())
+		yr := y.Resized(out.ncols())
+		for j := range c {
+			ax, ok1 := ints.TryMul(a, xr[j])
+			by, ok2 := ints.TryMul(b, yr[j])
+			d, ok3 := ints.TrySub(ax, by)
+			if !ok1 || !ok2 || !ok3 {
+				return nil, fmt.Errorf("%w: int64 overflow in bound-pair cross product", ErrUnsupported)
+			}
+			c[j] = d
+		}
+		return c, nil
+	}
+
 	// Dominance constraints among lower bounds: chosen bound li is the
 	// largest; ties are broken towards the smaller index to keep pieces
 	// disjoint. lower bound value for constraint (a, e): -e/a.
@@ -590,9 +664,9 @@ func (s *system) sumBetweenBounds(dim int, lowers, uppers []presburger.Constrain
 		}
 		ai, ei := boundVal(lowers[i])
 		// (-eStar)/aStar >= (-ei)/ai  <=>  aStar*ei - ai*eStar >= 0
-		c := presburger.NewVec(out.ncols())
-		for j := range c {
-			c[j] = aStar*ei.Resized(out.ncols())[j] - ai*eStar.Resized(out.ncols())[j]
+		c, err := crossDiff(aStar, ei, ai, eStar)
+		if err != nil {
+			return nil, err
 		}
 		if i < li {
 			c[0]-- // strict to keep pieces disjoint
@@ -608,9 +682,9 @@ func (s *system) sumBetweenBounds(dim int, lowers, uppers []presburger.Constrain
 		bj, fj := boundVal(uppers[j])
 		bj = -bj
 		// fStar/bStar <= fj/bj  <=>  bStar*fj - bj*fStar >= 0
-		c := presburger.NewVec(out.ncols())
-		for k := range c {
-			c[k] = bStar*fj.Resized(out.ncols())[k] - bj*fStar.Resized(out.ncols())[k]
+		c, err := crossDiff(bStar, fj, bj, fStar)
+		if err != nil {
+			return nil, err
 		}
 		if j < ui {
 			c[0]--

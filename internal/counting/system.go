@@ -142,17 +142,35 @@ func (s *system) usesDim(dim int) bool {
 // equality (and free of floor dependence) score 1. The estimate steers the
 // summation order; it never affects correctness.
 func (s *system) fanOutEstimate(dim int) int64 {
+	// The estimate multiplies residue periods by bound pairs by coupling
+	// penalties; with adversarial coefficients the raw products (and the
+	// checked LCM, which panics) overflow int64. Saturating keeps the
+	// heuristic ordered — a saturated estimate just means "sum this last".
+	satMul := func(a, b int64) int64 {
+		p, ok := ints.TryMul(a, b)
+		if !ok {
+			return int64(^uint64(0) >> 1) // saturate at MaxInt64
+		}
+		return p
+	}
+	satLCM := func(a, b int64) int64 {
+		if a == 0 || b == 0 {
+			return 0
+		}
+		g := ints.GCD(a, b)
+		return satMul(ints.Abs(a)/g, ints.Abs(b))
+	}
 	col := s.dimCol(dim)
 	var period int64 = 1
 	if s.hasDimDependentFloors(dim) {
 		for _, d := range s.divs {
 			if d.Num.Resized(s.ncols())[col] != 0 {
-				period = ints.LCM(period, d.Den)
+				period = satLCM(period, d.Den)
 			}
 		}
 		for _, a := range s.poly.Atoms {
 			if 1+dim < len(a.Num) && a.Num[1+dim] != 0 {
-				period = ints.LCM(period, a.Den)
+				period = satLCM(period, a.Den)
 			}
 		}
 		if period == 1 {
@@ -192,17 +210,17 @@ func (s *system) fanOutEstimate(dim int) int64 {
 			}
 		}
 		if penalty < 1<<20 {
-			penalty *= w
+			penalty = satMul(penalty, w)
 		}
 	}
 	if hasEq && period == 1 {
 		return 1
 	}
-	pairs := lowers * uppers
+	pairs := satMul(lowers, uppers)
 	if hasEq || pairs == 0 {
 		pairs = 1
 	}
-	return period * pairs * penalty
+	return satMul(satMul(period, pairs), penalty)
 }
 
 // divDependsOnDim reports, per div, whether its numerator references the

@@ -1,0 +1,170 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"haystack/internal/core"
+	"haystack/internal/polybench"
+)
+
+// sweepBenchRun is one worker-count measurement of the multicore sweep
+// benchmark.
+type sweepBenchRun struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// sweepBenchReport is the BENCH_6.json schema: the wall time of the full
+// PolyBench MINI sweep at 1/2/4 outer workers plus the allocation figures of
+// the Presburger hot path.
+type sweepBenchReport struct {
+	Bench       string          `json:"bench"`
+	Date        string          `json:"date"`
+	GoVersion   string          `json:"go"`
+	CPUs        int             `json:"cpus"`
+	Kernels     int             `json:"kernels"`
+	Evaluations int             `json:"evaluations"`
+	Runs        []sweepBenchRun `json:"runs"`
+	// Speedup4W is wall(1 worker) / wall(4 workers); meaningful only when
+	// CPUs >= 4.
+	Speedup4W float64 `json:"speedup_4w"`
+	// AllocsPerEvaluation is the malloc count of the 1-worker sweep divided
+	// by its grid points — the end-to-end allocation pressure the arena and
+	// slab-clone work keeps down.
+	AllocsPerEvaluation float64 `json:"allocs_per_evaluation"`
+}
+
+// evalKey collapses one sweep evaluation to its deterministic content:
+// everything except timings and scheduling counters must be bit-identical
+// across worker counts.
+type evalKey struct {
+	Kernel     string
+	TileSize   int64
+	Tier       core.Tier
+	Compulsory int64
+	Capacity   []int64
+	Total      []int64
+	PerStmt    map[string]int64
+}
+
+func deterministicEvals(res *Result) []evalKey {
+	out := make([]evalKey, 0, len(res.Evaluations))
+	for _, ev := range res.Evaluations {
+		k := evalKey{
+			Kernel:     ev.Kernel,
+			TileSize:   ev.TileSize,
+			Tier:       ev.Result.Tier,
+			Compulsory: ev.Result.CompulsoryMisses,
+			PerStmt:    ev.Result.PerStatementCompulsory,
+		}
+		for _, lvl := range ev.Result.Levels {
+			k.Capacity = append(k.Capacity, lvl.CapacityMisses)
+			k.Total = append(k.Total, lvl.TotalMisses)
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestSweepMulticoreBenchmark runs every PolyBench kernel at MINI through
+// the sweep with 1, 2, and 4 outer workers (inner analysis parallelism fixed
+// at one so the outer pool is the only variable) and asserts the results are
+// bit-identical at every worker count. On machines with at least four CPUs
+// it additionally asserts the 4-worker wall time is at most 0.4x the
+// 1-worker wall time. When HAYSTACK_BENCH_SWEEP names a file the
+// measurements are written there as JSON (the BENCH_6.json CI artifact);
+// without the variable the test is skipped, keeping the default suite fast.
+func TestSweepMulticoreBenchmark(t *testing.T) {
+	out := os.Getenv("HAYSTACK_BENCH_SWEEP")
+	if out == "" {
+		t.Skip("set HAYSTACK_BENCH_SWEEP=<file> to run the multicore sweep benchmark")
+	}
+
+	kernels := polybench.Kernels()
+	grid := Grid{
+		Hierarchies: []core.Config{{LineSize: 64, CacheSizes: []int64{32 * 1024, 1024 * 1024}}},
+	}
+	for _, k := range kernels {
+		grid.Kernels = append(grid.Kernels, Kernel{Name: k.Name, Program: k.Build(polybench.Mini)})
+	}
+
+	opts := DefaultOptions()
+	opts.Analysis.Parallelism = 1
+
+	report := sweepBenchReport{
+		Bench:     "polybench_mini_sweep",
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Kernels:   len(grid.Kernels),
+	}
+
+	var baseline []evalKey
+	var wall [3]time.Duration
+	for i, workers := range []int{1, 2, 4} {
+		opts.Parallelism = workers
+
+		var before, after runtime.MemStats
+		if workers == 1 {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+		}
+		start := time.Now()
+		res, err := Sweep(grid, opts)
+		wall[i] = time.Since(start)
+		if err != nil {
+			t.Fatalf("sweep with %d workers: %v", workers, err)
+		}
+		if workers == 1 {
+			runtime.ReadMemStats(&after)
+			report.Evaluations = res.Stats.Evaluations
+			report.AllocsPerEvaluation =
+				float64(after.Mallocs-before.Mallocs) / float64(res.Stats.Evaluations)
+		}
+
+		keys := deterministicEvals(res)
+		if baseline == nil {
+			baseline = keys
+		} else if !reflect.DeepEqual(keys, baseline) {
+			for j := range keys {
+				if !reflect.DeepEqual(keys[j], baseline[j]) {
+					t.Fatalf("%d workers: evaluation %d differs from 1-worker run:\n%+v\nvs\n%+v",
+						workers, j, keys[j], baseline[j])
+				}
+			}
+			t.Fatalf("%d workers: results differ from 1-worker run", workers)
+		}
+		report.Runs = append(report.Runs, sweepBenchRun{
+			Workers: workers,
+			WallMS:  float64(wall[i]) / float64(time.Millisecond),
+		})
+		t.Logf("%d workers: %v (%d evaluations)", workers, wall[i].Round(time.Millisecond), res.Stats.Evaluations)
+	}
+
+	report.Speedup4W = float64(wall[0]) / float64(wall[2])
+	if runtime.NumCPU() >= 4 {
+		if ratio := float64(wall[2]) / float64(wall[0]); ratio > 0.4 {
+			t.Errorf("4-worker sweep took %.2fx the 1-worker wall time, want <= 0.4x (%v vs %v)",
+				ratio, wall[2].Round(time.Millisecond), wall[0].Round(time.Millisecond))
+		}
+	} else {
+		t.Logf("only %d CPUs: skipping the 0.4x multicore assertion", runtime.NumCPU())
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s: 1w=%v 2w=%v 4w=%v speedup(4w)=%.2fx\n",
+		out, wall[0].Round(time.Millisecond), wall[1].Round(time.Millisecond),
+		wall[2].Round(time.Millisecond), report.Speedup4W)
+}

@@ -244,18 +244,19 @@ func SweepContext(ctx context.Context, grid Grid, opts Options) (*Result, error)
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	// Balance the two parallelism levels: an unset inner parallelism gives
-	// every analysis the cores the outer fan-out cannot use itself (one job
-	// on an eight-core pool runs eight-wide inside; eight jobs run one-wide
-	// each). Results are bit-identical at every split.
+	// One pool serves the whole sweep: configurations fan out as outer
+	// groups, and every analysis schedules its own splittable units (lexmax
+	// basic maps, touched-line counts, capacity pieces) onto the same pool
+	// through the worker driving it. Idle workers steal across jobs, so the
+	// two phases need no static inner/outer core split; results are
+	// bit-identical at every worker count.
+	ex, releasePool := parwork.NewExec(workers)
+	defer releasePool()
 	analysis := opts.Analysis
 	if analysis.Parallelism <= 0 {
-		analysis.Parallelism = workers / len(jobs)
-		if analysis.Parallelism < 1 {
-			analysis.Parallelism = 1
-		}
+		analysis.Parallelism = 1
 	}
-	err := parwork.RunCtx(ctx, len(jobs), workers, func(idx int) error {
+	err := ex.RunGroup(ctx, len(jobs), func(w *parwork.Worker, idx int) error {
 		job := jobs[idx]
 		v := variants[job.variant]
 		var dm *core.DistanceModel
@@ -263,7 +264,11 @@ func SweepContext(ctx context.Context, grid Grid, opts Options) (*Result, error)
 		if analysis.Mode == core.ModeSim || (v.tiled && opts.Tiled == TiledProfile) {
 			dm, err = core.ComputeDistancesByProfiling(v.program, job.lineSize)
 		} else {
-			dm, err = core.ComputeDistancesContext(ctx, v.program, job.lineSize, analysis)
+			// The analysis runs on this worker: Options.Exec is call scoped,
+			// so the per-job copy hands the worker to exactly one call.
+			jobOpts := analysis
+			jobOpts.Exec = w
+			dm, err = core.ComputeDistancesContext(ctx, v.program, job.lineSize, jobOpts)
 		}
 		if err != nil {
 			return fmt.Errorf("explore: distances of %s (tile %d, line %d): %w",
@@ -314,21 +319,15 @@ func SweepContext(ctx context.Context, grid Grid, opts Options) (*Result, error)
 			}
 		}
 	}
-	// Balance the counting phase separately: it usually has far more jobs
-	// than the distance phase, so the inner parallelism baked into the
-	// models (sized for the distance phase) would oversubscribe it.
-	countInner := opts.Analysis.Parallelism
-	if countInner <= 0 {
-		countInner = workers / len(uniqueEvals)
-		if countInner < 1 {
-			countInner = 1
-		}
-	}
-	err = parwork.RunCtx(ctx, len(uniqueEvals), workers, func(i int) error {
+	// The counting phase shares the same pool: each pass schedules its
+	// capacity pieces through the worker that picked it up, and idle workers
+	// steal pieces across passes, so no separate inner/outer balancing is
+	// needed.
+	err = ex.RunGroup(ctx, len(uniqueEvals), func(w *parwork.Worker, i int) error {
 		e := &evals[uniqueEvals[i]]
 		v := variants[evalVariant[uniqueEvals[i]]]
 		dm := jobs[v.models[e.Hierarchy.LineSize]].model
-		res, err := dm.CountMissesWithContext(ctx, e.Hierarchy, countInner)
+		res, err := dm.CountMissesExec(ctx, e.Hierarchy, w)
 		if err != nil {
 			return fmt.Errorf("explore: counting %s (tile %d, caches %v): %w",
 				e.Kernel, e.TileSize, e.Hierarchy.CacheSizes, err)

@@ -30,15 +30,49 @@ func SubChecked(a, b int64) int64 {
 
 // MulChecked returns a*b and panics on overflow.
 func MulChecked(a, b int64) int64 {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	p := a * b
-	if p/b != a {
+	p, ok := TryMul(a, b)
+	if !ok {
 		panic(fmt.Sprintf("ints: overflow in %d * %d", a, b))
 	}
 	return p
 }
+
+// TryAdd returns a+b, reporting false on overflow instead of panicking.
+// Use it where an overflow is a legitimate large value that the caller
+// degrades on (bounded tier, unsupported-form fallback) rather than a
+// programming error.
+func TryAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// TrySub returns a-b, reporting false on overflow instead of panicking.
+func TrySub(a, b int64) (int64, bool) {
+	d := a - b
+	if (b < 0 && a > 0 && d < 0) || (b > 0 && a < 0 && d > 0) {
+		return 0, false
+	}
+	return d, true
+}
+
+// TryMul returns a*b, reporting false on overflow instead of panicking.
+func TryMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	// The quotient check misses exactly one wrap: MinInt64 * -1 wraps to
+	// MinInt64, and Go defines MinInt64 / -1 as MinInt64, so p/b == a.
+	if p/b != a || (a == minInt64 && b == -1) {
+		return 0, false
+	}
+	return p, true
+}
+
+const minInt64 = -1 << 63
 
 // Abs returns the absolute value of a.
 func Abs(a int64) int64 {

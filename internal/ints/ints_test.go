@@ -135,3 +135,44 @@ func TestMinMaxSignAbs(t *testing.T) {
 		t.Fatal("Abs wrong")
 	}
 }
+
+func TestTryHelpers(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		add  bool // expect TryAdd ok
+		mul  bool // expect TryMul ok
+	}{
+		{0, 0, true, true},
+		{3, 4, true, true},
+		{-3, 4, true, true},
+		{math.MaxInt64, 1, false, true},
+		{math.MinInt64, -1, false, false},
+		{math.MaxInt64, 0, true, true},
+		{math.MaxInt64, 2, false, false},
+		{1 << 32, 1 << 32, true, false},
+		{-(1 << 32), 1 << 32, true, false},
+	}
+	for _, c := range cases {
+		if s, ok := TryAdd(c.a, c.b); ok != c.add {
+			t.Errorf("TryAdd(%d,%d) ok=%v, want %v", c.a, c.b, ok, c.add)
+		} else if ok && s != c.a+c.b {
+			t.Errorf("TryAdd(%d,%d) = %d", c.a, c.b, s)
+		}
+		if p, ok := TryMul(c.a, c.b); ok != c.mul {
+			t.Errorf("TryMul(%d,%d) ok=%v, want %v", c.a, c.b, ok, c.mul)
+		} else if ok && p != c.a*c.b {
+			t.Errorf("TryMul(%d,%d) = %d", c.a, c.b, p)
+		}
+	}
+	if _, ok := TrySub(math.MinInt64, 1); ok {
+		t.Error("TrySub(MinInt64, 1) should overflow")
+	}
+	if d, ok := TrySub(10, 4); !ok || d != 6 {
+		t.Errorf("TrySub(10,4) = %d, %v", d, ok)
+	}
+	// The Try helpers must agree with the panicking ones wherever those
+	// succeed.
+	if v, ok := TryMul(1<<20, 1<<20); !ok || v != MulChecked(1<<20, 1<<20) {
+		t.Error("TryMul disagrees with MulChecked")
+	}
+}

@@ -43,7 +43,7 @@ func MapLexmin(m presburger.Map) (presburger.Map, error) { return MapLexminWith(
 // removing the all-pairs subtraction cascade that made triangular kernels
 // intractable.
 func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
-	return mapLexmin(context.Background(), m, workers, true)
+	return MapLexminCtx(context.Background(), m, workers)
 }
 
 // MapLexminCtx is MapLexminWith observing ctx: the computation checks for
@@ -52,20 +52,33 @@ func MapLexminWith(m presburger.Map, workers int) (presburger.Map, error) {
 // error promptly. The result is identical to MapLexminWith when the context
 // never fires.
 func MapLexminCtx(ctx context.Context, m presburger.Map, workers int) (presburger.Map, error) {
-	return mapLexmin(ctx, m, workers, true)
+	ex, release := parwork.NewExec(workers)
+	defer release()
+	return mapLexmin(ctx, m, ex, true)
+}
+
+// MapLexminExec is MapLexminCtx scheduling the per-basic-map minima on the
+// given executor. When ex is a Worker inside a running pool, the basic maps
+// become splittable work units that idle workers steal; the combining fold
+// stays sequential, so the result is bit-identical to every other entry
+// point regardless of executor shape.
+func MapLexminExec(ctx context.Context, m presburger.Map, ex parwork.Exec) (presburger.Map, error) {
+	return mapLexmin(ctx, m, ex, true)
 }
 
 // mapLexminFlat is MapLexminWith without the domain partitioning: every
 // candidate folds into one accumulated relation. Kept as the reference
 // implementation for differential tests.
 func mapLexminFlat(m presburger.Map, workers int) (presburger.Map, error) {
-	return mapLexmin(context.Background(), m, workers, false)
+	ex, release := parwork.NewExec(workers)
+	defer release()
+	return mapLexmin(context.Background(), m, ex, false)
 }
 
-func mapLexmin(ctx context.Context, m presburger.Map, workers int, partition bool) (presburger.Map, error) {
+func mapLexmin(ctx context.Context, m presburger.Map, ex parwork.Exec, partition bool) (presburger.Map, error) {
 	bms := m.Basics()
 	perBasic := make([][]presburger.BasicMap, len(bms))
-	err := parwork.RunCtx(ctx, len(bms), workers, func(idx int) error {
+	err := ex.RunGroup(ctx, len(bms), func(_ *parwork.Worker, idx int) error {
 		pieces, err := basicLexmin(ctx, bms[idx])
 		if err != nil {
 			return err
@@ -192,8 +205,16 @@ func MapLexmaxWith(m presburger.Map, workers int) (presburger.Map, error) {
 
 // MapLexmaxCtx is MapLexmaxWith observing ctx (see MapLexminCtx).
 func MapLexmaxCtx(ctx context.Context, m presburger.Map, workers int) (presburger.Map, error) {
+	ex, release := parwork.NewExec(workers)
+	defer release()
+	return MapLexmaxExec(ctx, m, ex)
+}
+
+// MapLexmaxExec is MapLexmaxCtx scheduling the per-basic-map maxima on the
+// given executor (see MapLexminExec).
+func MapLexmaxExec(ctx context.Context, m presburger.Map, ex parwork.Exec) (presburger.Map, error) {
 	neg := negateOutputs(m)
-	mn, err := MapLexminCtx(ctx, neg, workers)
+	mn, err := MapLexminExec(ctx, neg, ex)
 	if err != nil {
 		return presburger.Map{}, err
 	}

@@ -1,0 +1,29 @@
+package presburger
+
+import "testing"
+
+// TestSimplifyDedupAllocBudget pins the allocation count of the clone +
+// simplify hot path that BenchmarkSimplifyDedup measures. The slab clone and
+// the pooled simplify scratch brought it to ~24 allocs/op; the budget of 30
+// leaves headroom for toolchain noise while failing loudly on a regression
+// to per-vector allocation (hundreds per op). Skipped under the race
+// detector and the haystackdebug invariant build, whose instrumentation
+// allocates on its own.
+func TestSimplifyDedupAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	if debugInvariants {
+		t.Skip("invariant assertions allocate; budget holds for normal builds only")
+	}
+	proto := benchmarkBasic(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		cl := proto.clone()
+		if !cl.simplify() {
+			panic("benchmark basic should stay feasible")
+		}
+	})
+	if allocs > 30 {
+		t.Errorf("clone+simplify = %.1f allocs/op, budget is 30", allocs)
+	}
+}

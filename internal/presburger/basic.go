@@ -2,6 +2,7 @@ package presburger
 
 import (
 	"fmt"
+	"math/big"
 	"sort"
 	"strings"
 
@@ -50,15 +51,42 @@ func (b *basic) divCol(i int) int { return 1 + b.ndim + i }
 // dimCol returns the column index of dim i.
 func (b *basic) dimCol(i int) int { return 1 + i }
 
+// clone deep-copies b. All coefficient vectors of the copy are packed into
+// a single slab allocation: the subslices are capacity-clamped, so a
+// later append or Resized on any of them reallocates instead of growing
+// into a neighbour, and in-place coefficient writes stay within the
+// vector's own window. This keeps clone at O(1) allocations instead of one
+// per constraint and div — by far the dominant allocation site of the
+// simplify/coalesce/gist pipeline.
 func (b *basic) clone() basic {
 	nb := basic{ndim: b.ndim}
-	nb.divs = make([]Div, len(b.divs))
-	for i, d := range b.divs {
-		nb.divs[i] = d.Clone()
+	total := 0
+	for i := range b.divs {
+		total += len(b.divs[i].Num)
 	}
-	nb.cons = make([]Constraint, len(b.cons))
-	for i, c := range b.cons {
-		nb.cons[i] = c.Clone()
+	for i := range b.cons {
+		total += len(b.cons[i].C)
+	}
+	slab := make([]int64, total)
+	off := 0
+	sub := func(v Vec) Vec {
+		n := len(v)
+		dst := slab[off : off+n : off+n]
+		copy(dst, v)
+		off += n
+		return dst
+	}
+	if len(b.divs) > 0 {
+		nb.divs = make([]Div, len(b.divs))
+		for i, d := range b.divs {
+			nb.divs[i] = Div{Num: sub(d.Num), Den: d.Den}
+		}
+	}
+	if len(b.cons) > 0 {
+		nb.cons = make([]Constraint, len(b.cons))
+		for i, c := range b.cons {
+			nb.cons[i] = Constraint{C: sub(c.C), Eq: c.Eq}
+		}
 	}
 	return nb
 }
@@ -130,27 +158,127 @@ func (b *basic) divValue(i int, vals []int64) int64 {
 // evalColumns computes the full column vector [1, point..., divs...] for a
 // point with the given dimension values.
 func (b *basic) evalColumns(point []int64) []int64 {
+	vals := make([]int64, b.ncols())
+	b.evalColumnsInto(point, vals)
+	return vals
+}
+
+// evalColumnsInto is evalColumns writing into a caller-owned buffer of
+// length ncols, for loops that evaluate many points.
+func (b *basic) evalColumnsInto(point, vals []int64) {
 	if len(point) != b.ndim {
 		panic("presburger: point arity mismatch")
 	}
-	vals := make([]int64, b.ncols())
 	vals[0] = 1
 	copy(vals[1:], point)
 	for i := range b.divs {
 		vals[b.divCol(i)] = b.divValue(i, vals)
 	}
-	return vals
 }
 
 // contains reports whether the point satisfies all constraints of b.
+// Evaluation is overflow-checked: when any product or sum would wrap int64
+// (huge parameter values meeting huge coefficients), validation falls back
+// to arbitrary-precision arithmetic instead of returning a wrapped verdict.
 func (b *basic) contains(point []int64) bool {
-	vals := b.evalColumns(point)
+	buf := getCols(b.ncols())
+	defer putCols(buf)
+	vals := *buf
+	if !b.evalColumnsIntoTry(point, vals) {
+		return b.containsBig(point)
+	}
 	for _, c := range b.cons {
-		v := c.C.Dot(vals)
+		v, ok := dotTry(c.C, vals)
+		if !ok {
+			return b.containsBig(point)
+		}
 		if c.Eq && v != 0 {
 			return false
 		}
 		if !c.Eq && v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dotTry computes c·vals with overflow checking.
+func dotTry(c Vec, vals []int64) (int64, bool) {
+	var s int64
+	for i, x := range c {
+		if x == 0 || vals[i] == 0 {
+			continue
+		}
+		p, ok := mulNoWrap(x, vals[i])
+		if !ok {
+			return 0, false
+		}
+		s, ok = ints.TryAdd(s, p)
+		if !ok {
+			return 0, false
+		}
+	}
+	return s, true
+}
+
+// evalColumnsIntoTry is evalColumnsInto with overflow checking on the div
+// numerator sums. ok=false means some div value cannot be represented with
+// 64-bit intermediates and the caller must re-evaluate exactly.
+func (b *basic) evalColumnsIntoTry(point, vals []int64) bool {
+	if len(point) != b.ndim {
+		panic("presburger: point arity mismatch")
+	}
+	vals[0] = 1
+	copy(vals[1:], point)
+	for i := range b.divs {
+		d := b.divs[i]
+		s, ok := dotTry(d.Num[:min(b.divCol(i), len(d.Num))], vals)
+		if !ok {
+			return false
+		}
+		vals[b.divCol(i)] = ints.FloorDiv(s, d.Den)
+	}
+	return true
+}
+
+// containsBig validates a point with arbitrary-precision arithmetic. It is
+// the cold path of contains, reached only when 64-bit evaluation would
+// overflow.
+func (b *basic) containsBig(point []int64) bool {
+	vals := make([]*big.Int, b.ncols())
+	vals[0] = big.NewInt(1)
+	for i, p := range point {
+		vals[1+i] = big.NewInt(p)
+	}
+	t := new(big.Int)
+	for i := range b.divs {
+		d := b.divs[i]
+		s := new(big.Int)
+		for j := 0; j < b.divCol(i) && j < len(d.Num); j++ {
+			if d.Num[j] == 0 {
+				continue
+			}
+			s.Add(s, t.Mul(big.NewInt(d.Num[j]), vals[j]))
+		}
+		// DivMod is Euclidean division; with Den > 0 the quotient matches
+		// floor division.
+		q, m := new(big.Int), new(big.Int)
+		q.DivMod(s, big.NewInt(d.Den), m)
+		vals[b.divCol(i)] = q
+	}
+	s := new(big.Int)
+	for _, c := range b.cons {
+		s.SetInt64(0)
+		for j, x := range c.C {
+			if x == 0 {
+				continue
+			}
+			s.Add(s, t.Mul(big.NewInt(x), vals[j]))
+		}
+		if c.Eq && s.Sign() != 0 {
+			return false
+		}
+		if !c.Eq && s.Sign() < 0 {
 			return false
 		}
 	}
@@ -533,12 +661,12 @@ func coeffsMatch(a, b Vec, neg bool) bool {
 
 // hasConflictingBounds detects single-variable contradictions such as
 // x >= 3 together with x <= 2 (over the same single column), a cheap but
-// effective emptiness filter.
+// effective emptiness filter. The per-column bound tracking comes from the
+// arena free list — four map allocations per simplify otherwise.
 func (b *basic) hasConflictingBounds() bool {
-	lo := map[int]int64{}
-	hi := map[int]int64{}
-	haveLo := map[int]bool{}
-	haveHi := map[int]bool{}
+	s := getBounds(b.ncols())
+	defer putBounds(s)
+	lo, hi, haveLo, haveHi := s.lo, s.hi, s.haveLo, s.haveHi
 	for _, c := range b.cons {
 		col, cnt := -1, 0
 		for j := 1; j < len(c.C); j++ {

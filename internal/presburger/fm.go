@@ -1,6 +1,8 @@
 package presburger
 
 import (
+	"math"
+
 	"haystack/internal/ints"
 )
 
@@ -39,7 +41,7 @@ func (b *basic) materializedConstraints() []Constraint {
 func rationalEliminate(cons []Constraint, col int) []Constraint {
 	// Prefer an equality pivot.
 	for i, c := range cons {
-		if c.Eq && c.C[col] != 0 {
+		if c.Eq && c.C[col] != 0 && c.C[col] != math.MinInt64 {
 			pivot := c
 			out := make([]Constraint, 0, len(cons)-1)
 			for j, o := range cons {
@@ -59,9 +61,17 @@ func rationalEliminate(cons []Constraint, col int) []Constraint {
 				if p < 0 {
 					f = a
 				}
-				nc := NewVec(len(o.C))
-				for k := range nc {
-					nc[k] = scale*o.C[k] + f*pivot.C[k]
+				if a == math.MinInt64 {
+					// Negating a would wrap; drop the combination (weakening).
+					continue
+				}
+				nc, ok := combineChecked(scale, o.C, f, pivot.C)
+				if !ok {
+					// The combination wraps int64. Dropping it weakens the
+					// projection, which every caller tolerates (like the
+					// maxFMConstraints cap); keeping a wrapped constraint
+					// would silently corrupt bounds.
+					continue
 				}
 				nc[col] = 0
 				out = append(out, normalizeConstraint(Constraint{C: nc, Eq: o.Eq}))
@@ -84,10 +94,15 @@ func rationalEliminate(cons []Constraint, col int) []Constraint {
 	for _, lo := range lowers {
 		for _, up := range uppers {
 			a := lo.C[col]
+			if up.C[col] == math.MinInt64 {
+				continue
+			}
 			bb := -up.C[col]
-			nc := NewVec(len(lo.C))
-			for k := range nc {
-				nc[k] = a*up.C[k] + bb*lo.C[k]
+			nc, ok := combineChecked(a, up.C, bb, lo.C)
+			if !ok {
+				// See the equality-pivot path: an overflowing combination is
+				// dropped rather than kept wrapped.
+				continue
 			}
 			nc[col] = 0
 			rest = append(rest, normalizeConstraint(Constraint{C: nc}))
@@ -97,6 +112,39 @@ func rationalEliminate(cons []Constraint, col int) []Constraint {
 		rest = rest[:maxFMConstraints]
 	}
 	return rest
+}
+
+// mulNoWrap is TryMul without the quotient check on the common case: two
+// factors below 2^31 in magnitude cannot wrap, so the Fourier–Motzkin and
+// evaluation hot loops pay two comparisons instead of a division.
+func mulNoWrap(a, b int64) (int64, bool) {
+	const lim = 1 << 31
+	if a > -lim && a < lim && b > -lim && b < lim {
+		return a * b, true
+	}
+	return ints.TryMul(a, b)
+}
+
+// combineChecked computes s*x + f*y with overflow checking, returning
+// ok=false (and no vector) if any component would wrap int64.
+func combineChecked(s int64, x Vec, f int64, y Vec) (Vec, bool) {
+	nc := NewVec(len(x))
+	for k := range nc {
+		v1, ok := mulNoWrap(s, x[k])
+		if !ok {
+			return nil, false
+		}
+		v2, ok := mulNoWrap(f, y[k])
+		if !ok {
+			return nil, false
+		}
+		sum, ok := ints.TryAdd(v1, v2)
+		if !ok {
+			return nil, false
+		}
+		nc[k] = sum
+	}
+	return nc, true
 }
 
 // rationalFeasible reports whether the basic set/map has a rational
@@ -179,10 +227,15 @@ func (b *basic) dimBounds(dim int, prefix []int64) (lo, hi int64, bounded bool) 
 		if a == 0 {
 			continue
 		}
+		if a == math.MinInt64 {
+			// -a below would wrap; treat the dimension as unbounded rather
+			// than derive a wrapped bound.
+			return 0, 0, false
+		}
 		// Evaluate the rest of the constraint on the prefix.
-		rest := c.C[0]
-		for j := 0; j < dim; j++ {
-			rest += c.C[b.dimCol(j)] * prefix[j]
+		rest, restOK := evalRest(c.C, b, dim, prefix)
+		if !restOK {
+			return 0, 0, false
 		}
 		// a*x + rest >= 0 (or == 0).
 		if c.Eq {
@@ -214,4 +267,28 @@ func (b *basic) dimBounds(dim int, prefix []int64) (lo, hi int64, bounded bool) 
 		}
 	}
 	return lo, hi, haveLo && haveHi
+}
+
+// evalRest evaluates the constant and prefix terms of a bound constraint
+// (c[0] + sum of c[dimCol(j)]*prefix[j] for j < dim) with overflow checking.
+// ok=false means the evaluation wrapped int64; callers must then treat the
+// dimension as unbounded instead of using a corrupted bound. The result is
+// additionally rejected when it equals MinInt64, because every caller
+// negates it.
+func evalRest(c Vec, b *basic, dim int, prefix []int64) (int64, bool) {
+	rest := c[0]
+	for j := 0; j < dim; j++ {
+		p, ok := mulNoWrap(c[b.dimCol(j)], prefix[j])
+		if !ok {
+			return 0, false
+		}
+		rest, ok = ints.TryAdd(rest, p)
+		if !ok {
+			return 0, false
+		}
+	}
+	if rest == math.MinInt64 {
+		return 0, false
+	}
+	return rest, true
 }

@@ -3,6 +3,7 @@ package presburger
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"haystack/internal/ints"
 )
@@ -54,9 +55,16 @@ func (s *scanner) bounds(d int, prefix []int64) (lo, hi int64, bounded bool) {
 	haveLo, haveHi := false, false
 	for _, c := range s.levels[d] {
 		a := c.C[col]
-		rest := c.C[0]
-		for j := 0; j < d; j++ {
-			rest += c.C[s.b.dimCol(j)] * prefix[j]
+		if a == math.MinInt64 {
+			return 0, 0, false
+		}
+		rest, ok := evalRest(c.C, s.b, d, prefix)
+		if !ok {
+			// Evaluating the bound would wrap int64. Reporting the dimension
+			// unbounded turns that into a typed ErrUnbounded from scanLevel;
+			// a wrapped bound could silently enumerate nothing (lo > hi) and
+			// certify a non-empty set as empty.
+			return 0, 0, false
 		}
 		if c.Eq {
 			if rest%a != 0 {

@@ -8,36 +8,19 @@ import (
 type iv struct{ lo, hi int64 }
 
 // addIv returns a+b, failing on overflow (no saturation: a saturated bound
-// multiplied later would silently wrap inside Rat arithmetic).
+// multiplied later would silently wrap inside Rat arithmetic). Overflow
+// checks route through ints.TryAdd/TryMul — the shared non-panicking
+// helpers of the degradation paths.
 func addIv(a, b iv) (iv, bool) {
-	lo, ok1 := addChecked(a.lo, b.lo)
-	hi, ok2 := addChecked(a.hi, b.hi)
+	lo, ok1 := ints.TryAdd(a.lo, b.lo)
+	hi, ok2 := ints.TryAdd(a.hi, b.hi)
 	return iv{lo, hi}, ok1 && ok2
-}
-
-func addChecked(a, b int64) (int64, bool) {
-	s := a + b
-	if (a > 0 && b > 0 && s < a) || (a < 0 && b < 0 && s > a) {
-		return 0, false
-	}
-	return s, true
-}
-
-func mulChecked(a, b int64) (int64, bool) {
-	if a == 0 || b == 0 {
-		return 0, true
-	}
-	p := a * b
-	if p/b != a {
-		return 0, false
-	}
-	return p, true
 }
 
 // scaleIv returns c*a (interval endpoints swap for negative c).
 func scaleIv(c int64, a iv) (iv, bool) {
-	l, ok1 := mulChecked(c, a.lo)
-	h, ok2 := mulChecked(c, a.hi)
+	l, ok1 := ints.TryMul(c, a.lo)
+	h, ok2 := ints.TryMul(c, a.hi)
 	if !ok1 || !ok2 {
 		return iv{}, false
 	}
@@ -53,7 +36,7 @@ func mulIv(a, b iv) (iv, bool) {
 	cands := [4][2]int64{{a.lo, b.lo}, {a.lo, b.hi}, {a.hi, b.lo}, {a.hi, b.hi}}
 	var out iv
 	for i, c := range cands {
-		p, ok := mulChecked(c[0], c[1])
+		p, ok := ints.TryMul(c[0], c[1])
 		if !ok {
 			return iv{}, false
 		}
