@@ -36,6 +36,7 @@ func main() {
 	params := flag.String("params", "", "comma separated parameter bindings (e.g. NI=1000,NJ=1100,NK=1200); selects the parametric model, ignoring -size")
 	line := flag.Int64("line", 64, "cache line size in bytes")
 	caches := flag.String("caches", "32768,1048576", "comma separated cache capacities in bytes")
+	ways := flag.String("ways", "", "comma separated associativity per cache level (0 = fully associative); e.g. 8,16 models a set-associative hierarchy")
 	list := flag.Bool("list", false, "list available kernels and exit")
 	noEqualization := flag.Bool("no-equalization", false, "disable the equalization floor elimination")
 	noRasterization := flag.Bool("no-rasterization", false, "disable the rasterization floor elimination")
@@ -69,6 +70,18 @@ func main() {
 			log.Fatalf("invalid cache size %q: %v", c, err)
 		}
 		cfg.CacheSizes = append(cfg.CacheSizes, v)
+	}
+	if *ways != "" {
+		for _, w := range strings.Split(*ways, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil {
+				log.Fatalf("invalid way count %q: %v", w, err)
+			}
+			cfg.Ways = append(cfg.Ways, v)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	opts := core.DefaultOptions()
 	opts.Equalization = !*noEqualization
@@ -146,12 +159,25 @@ func main() {
 	if res.Tier == core.TierBounded {
 		fmt.Printf("note: bounded tier — point values are certified upper bounds (%s)\n", res.FallbackReason)
 	}
-	t := report.NewTable("predicted cache behaviour", "cache", "bytes", "compulsory", "capacity", "misses", "miss ratio")
+	t := report.NewTable("predicted cache behaviour", "cache", "bytes", "ways", "compulsory", "capacity", "misses", "miss ratio")
 	for i, lvl := range res.Levels {
 		ratio := float64(lvl.TotalMisses) / float64(res.TotalAccesses)
-		t.AddRow(fmt.Sprintf("L%d", i+1), lvl.CacheBytes, res.CompulsoryMisses, lvl.CapacityMisses, lvl.TotalMisses, ratio)
+		waysLabel := "full"
+		if w := cfg.WaysOf(i); w > 0 {
+			waysLabel = strconv.Itoa(w)
+		}
+		t.AddRow(fmt.Sprintf("L%d", i+1), lvl.CacheBytes, waysLabel, res.CompulsoryMisses, lvl.CapacityMisses, lvl.TotalMisses, ratio)
 	}
 	t.Write(os.Stdout)
+
+	for _, sa := range res.Stats.SetAssoc {
+		total := 0
+		for _, p := range sa.SetPieces {
+			total += p
+		}
+		fmt.Printf("L%d set-associative: %d sets of %d ways, %d per-set distance pieces\n",
+			sa.Level+1, sa.Sets, sa.Ways, total)
+	}
 
 	if res.Tier == core.TierBounded {
 		fmt.Printf("\ncertified bounds: compulsory in %v\n", res.CompulsoryBounds)

@@ -12,7 +12,9 @@
 //	     -hierarchies "32768,1048576;16384,262144" -objective l1 -format text
 //
 // Hierarchies are separated by semicolons; the comma-separated values of
-// one hierarchy are the per-level capacities in bytes, innermost first.
+// one hierarchy are the per-level capacities in bytes, innermost first. A
+// level spelled size/ways (e.g. 32768/8) models a set-associative cache of
+// that associativity; a bare size stays fully associative.
 // Output formats: text (aligned tables), csv, json.
 //
 // Tiled variants default to the fully symbolic, problem-size-independent
@@ -45,7 +47,7 @@ func main() {
 	tiles := flag.String("tiles", "1,16,32", "comma separated tile sizes (1 = untiled)")
 	line := flag.Int64("line", 64, "cache line size in bytes (shared by all hierarchies)")
 	hierarchies := flag.String("hierarchies", "16384;32768,1048576;65536,4194304",
-		"semicolon separated cache hierarchies, each a comma separated list of per-level capacities in bytes")
+		"semicolon separated cache hierarchies, each a comma separated list of per-level capacities in bytes; a level spelled size/ways (e.g. 32768/8) is set-associative")
 	objective := flag.String("objective", "l1", "ranking objective: l1, llc, or total")
 	format := flag.String("format", "text", "output format: text, csv, or json")
 	tiled := flag.String("tiled", "symbolic",
@@ -185,12 +187,29 @@ func buildGrid(kernels string, sz polybench.Size, tiles string, line int64, hier
 			continue
 		}
 		cfg := core.Config{LineSize: line}
+		hasWays := false
 		for _, c := range strings.Split(h, ",") {
-			v, err := strconv.ParseInt(strings.TrimSpace(c), 10, 64)
+			c = strings.TrimSpace(c)
+			sizePart, waysPart, perLevel := strings.Cut(c, "/")
+			v, err := strconv.ParseInt(strings.TrimSpace(sizePart), 10, 64)
 			if err != nil {
 				return grid, fmt.Errorf("invalid cache size %q in hierarchy %q: %v", c, h, err)
 			}
 			cfg.CacheSizes = append(cfg.CacheSizes, v)
+			w := 0
+			if perLevel {
+				w, err = strconv.Atoi(strings.TrimSpace(waysPart))
+				if err != nil {
+					return grid, fmt.Errorf("invalid way count %q in hierarchy %q: %v", c, h, err)
+				}
+				hasWays = true
+			}
+			cfg.Ways = append(cfg.Ways, w)
+		}
+		// A hierarchy without any size/ways level keeps a nil Ways slice, so
+		// the sweep is byte-identical to the pre-associativity grids.
+		if !hasWays {
+			cfg.Ways = nil
 		}
 		grid.Hierarchies = append(grid.Hierarchies, cfg)
 	}
@@ -242,6 +261,9 @@ func cachesLabel(cfg core.Config) string {
 	parts := make([]string, len(cfg.CacheSizes))
 	for i, s := range cfg.CacheSizes {
 		parts[i] = strconv.FormatInt(s, 10)
+		if w := cfg.WaysOf(i); w > 0 {
+			parts[i] += "/" + strconv.Itoa(w)
+		}
 	}
 	return strings.Join(parts, ":")
 }

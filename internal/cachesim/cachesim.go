@@ -107,6 +107,39 @@ type Hierarchy struct {
 	total  int64
 }
 
+// Geometry derives the set/way geometry of one cache level exactly as the
+// simulator builds its state: numLines = sizeBytes/lineSize lines total;
+// ways of zero (or larger than the line count) selects full associativity;
+// numSets = numLines/ways sets indexed by line mod numSets (integer
+// division — a remainder smaller than one full set is unused, matching
+// hardware that requires power-of-two friendly dimensioning). The analytical
+// model calls the same function, so the two engines can never disagree on
+// how a configuration partitions into sets.
+func Geometry(sizeBytes, lineSize int64, ways int) (numSets, effWays int64, err error) {
+	if lineSize <= 0 {
+		return 0, 0, fmt.Errorf("cachesim: line size must be positive")
+	}
+	if sizeBytes <= 0 {
+		return 0, 0, fmt.Errorf("cachesim: cache size must be positive")
+	}
+	if ways < 0 {
+		return 0, 0, fmt.Errorf("cachesim: associativity must be non-negative, got %d", ways)
+	}
+	numLines := sizeBytes / lineSize
+	if numLines == 0 {
+		return 0, 0, fmt.Errorf("cachesim: cache of %d bytes smaller than one %d-byte line", sizeBytes, lineSize)
+	}
+	w := int64(ways)
+	if w == 0 || w > numLines {
+		w = numLines
+	}
+	numSets = numLines / w
+	if numSets == 0 {
+		numSets = 1
+	}
+	return numSets, w, nil
+}
+
 // NewHierarchy builds the simulation state for a configuration.
 func NewHierarchy(cfg Config) (*Hierarchy, error) {
 	if cfg.LineSize <= 0 {
@@ -117,18 +150,11 @@ func NewHierarchy(cfg Config) (*Hierarchy, error) {
 		if lc.SizeBytes <= 0 {
 			return nil, fmt.Errorf("cachesim: level %q has non-positive size", lc.Name)
 		}
-		numLines := lc.SizeBytes / cfg.LineSize
-		if numLines == 0 {
-			return nil, fmt.Errorf("cachesim: level %q smaller than one line", lc.Name)
+		numSets64, ways64, err := Geometry(lc.SizeBytes, cfg.LineSize, lc.Ways)
+		if err != nil {
+			return nil, fmt.Errorf("cachesim: level %q: %w", lc.Name, err)
 		}
-		ways := lc.Ways
-		if ways == 0 || int64(ways) > numLines {
-			ways = int(numLines)
-		}
-		numSets := numLines / int64(ways)
-		if numSets == 0 {
-			numSets = 1
-		}
+		numSets, ways := numSets64, int(ways64)
 		if lc.Policy == PLRU && ways&(ways-1) != 0 {
 			return nil, fmt.Errorf("cachesim: PLRU requires power-of-two associativity, got %d", ways)
 		}

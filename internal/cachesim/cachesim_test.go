@@ -228,3 +228,44 @@ func TestRandomTraceLevelInvariants(t *testing.T) {
 		t.Fatalf("L2 misses cannot exceed L1 misses in an inclusive hierarchy: %+v", res)
 	}
 }
+
+// TestGeometry pins the set/way derivation both engines share: clamping of
+// oversized or zero ways to full associativity, integer set division, and
+// the error cases.
+func TestGeometry(t *testing.T) {
+	cases := []struct {
+		size, line int64
+		ways       int
+		sets, eff  int64
+	}{
+		{4096, 64, 0, 1, 64},   // fully associative: one set of all lines
+		{4096, 64, 64, 1, 64},  // ways == numLines is the same single set
+		{4096, 64, 128, 1, 64}, // oversized ways clamp to full associativity
+		{4096, 64, 8, 8, 8},    // plain 8-way
+		{4096, 64, 1, 64, 1},   // direct mapped
+		{512, 64, 4, 2, 4},     // small cache, two sets
+		{192, 64, 2, 1, 2},     // 3 lines, 2 ways: remainder line unused
+		{64, 64, 4, 1, 1},      // single-line cache clamps to one way
+		{1 << 20, 64, 16, 1024, 16},
+	}
+	for _, c := range cases {
+		sets, eff, err := Geometry(c.size, c.line, c.ways)
+		if err != nil {
+			t.Errorf("Geometry(%d,%d,%d): %v", c.size, c.line, c.ways, err)
+			continue
+		}
+		if sets != c.sets || eff != c.eff {
+			t.Errorf("Geometry(%d,%d,%d) = (%d sets, %d ways), want (%d, %d)",
+				c.size, c.line, c.ways, sets, eff, c.sets, c.eff)
+		}
+	}
+	if _, _, err := Geometry(32, 64, 0); err == nil {
+		t.Error("sub-line cache must fail")
+	}
+	if _, _, err := Geometry(4096, 0, 0); err == nil {
+		t.Error("zero line size must fail")
+	}
+	if _, _, err := Geometry(4096, 64, -1); err == nil {
+		t.Error("negative ways must fail")
+	}
+}

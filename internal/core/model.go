@@ -26,14 +26,74 @@ import (
 	"haystack/internal/scop"
 )
 
-// Config describes the modeled cache hierarchy: fully associative LRU caches
-// with the given capacities sharing one line size.
+// Config describes the modeled cache hierarchy: LRU caches with the given
+// capacities sharing one line size. Levels are fully associative by default;
+// a per-level associativity in Ways selects set-associative modeling.
 type Config struct {
 	// LineSize is the cache line size in bytes.
 	LineSize int64
 	// CacheSizes holds the capacity in bytes of every modeled cache level,
 	// ordered from the innermost level (L1) outwards.
 	CacheSizes []int64
+	// Ways holds the associativity of every level, parallel to CacheSizes:
+	// entry i is the number of ways of level i, with 0 selecting full
+	// associativity (the paper's model). A nil or short slice leaves the
+	// remaining levels fully associative, so existing Config literals keep
+	// their exact meaning. A set-associative level is modeled as numSets
+	// independent fully associative LRU caches of Ways lines each, with
+	// set(line) = line mod numSets over the padded layout — the identical
+	// geometry derivation the simulator uses (cachesim.Geometry), so the
+	// two engines can be compared bit for bit.
+	Ways []int
+}
+
+// WaysOf returns the configured associativity of level i; zero means fully
+// associative (levels beyond the Ways slice default to it).
+func (cfg Config) WaysOf(i int) int {
+	if i < len(cfg.Ways) {
+		return cfg.Ways[i]
+	}
+	return 0
+}
+
+// LevelGeometry returns the set/way geometry of level i, derived by the
+// exact rule the simulator applies (cachesim.Geometry): oversized or zero
+// ways clamp to full associativity, and numSets is the integer quotient of
+// the line count by the effective ways.
+func (cfg Config) LevelGeometry(i int) (numSets, ways int64, err error) {
+	return cachesim.Geometry(cfg.CacheSizes[i], cfg.LineSize, cfg.WaysOf(i))
+}
+
+// HasSetAssoc reports whether any level of the hierarchy is genuinely set
+// associative (partitions into more than one set).
+func (cfg Config) HasSetAssoc() bool {
+	for i := range cfg.CacheSizes {
+		if numSets, _, err := cfg.LevelGeometry(i); err == nil && numSets > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the hierarchy description: a positive line size, at least
+// one cache level, a Ways slice no longer than the level list, and a
+// derivable set/way geometry for every level.
+func (cfg Config) Validate() error {
+	if cfg.LineSize <= 0 {
+		return fmt.Errorf("core: line size must be positive")
+	}
+	if len(cfg.CacheSizes) == 0 {
+		return fmt.Errorf("core: at least one cache size is required")
+	}
+	if len(cfg.Ways) > len(cfg.CacheSizes) {
+		return fmt.Errorf("core: %d ways entries for %d cache levels", len(cfg.Ways), len(cfg.CacheSizes))
+	}
+	for i := range cfg.CacheSizes {
+		if _, _, err := cfg.LevelGeometry(i); err != nil {
+			return fmt.Errorf("core: level %d: %w", i+1, err)
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns the cache configuration of the paper's test system:
@@ -286,6 +346,13 @@ type Stats struct {
 	CoalesceAdjacent        int64
 	CoalesceRedundantCons   int64
 
+	// SetAssoc records, for every genuinely set-associative level of the
+	// query (more than one set), how the distance pieces partitioned among
+	// the cache sets. The counts are scheduling independent and part of the
+	// bit-identity contract; the slice is empty for fully associative
+	// hierarchies.
+	SetAssoc []SetAssocLevelStats
+
 	// BoundWidth holds, per cache level, the width of the certified total
 	// miss interval (TotalMissBounds.Width()). Exact results report zeros,
 	// so any nonzero entry is a visible tightness regression.
@@ -294,6 +361,23 @@ type Stats struct {
 	// counting operations of the call (observability only; limits are
 	// enforced per operation).
 	BudgetUsed int64
+}
+
+// SetAssocLevelStats describes the per-set partition of one set-associative
+// cache level of a CountMisses query.
+type SetAssocLevelStats struct {
+	// Level indexes the cache level in Config.CacheSizes.
+	Level int
+	// Sets and Ways are the derived geometry (cachesim.Geometry).
+	Sets int64
+	Ways int64
+	// SetPieces[s] is the number of cardinality summand pieces of set s,
+	// after restricting the touched-line maps to the set's lines. The
+	// summands stay unmerged (their pointwise sum is the within-set
+	// distance; see counting.MapCardSummands), so this counts the lazy
+	// bag, not a merged piecewise normal form. The counts do not depend
+	// on the worker count.
+	SetPieces []int
 }
 
 // merge adds the additive counters of o into s. Timing fields and the
@@ -374,11 +458,8 @@ func Analyze(prog *scop.Program, cfg Config, opts Options) (*Result, error) {
 // call (both phases share the deadline).
 func AnalyzeContext(ctx context.Context, prog *scop.Program, cfg Config, opts Options) (*Result, error) {
 	start := time.Now()
-	if cfg.LineSize <= 0 {
-		return nil, fmt.Errorf("core: line size must be positive")
-	}
-	if len(cfg.CacheSizes) == 0 {
-		return nil, fmt.Errorf("core: at least one cache size is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.Deadline > 0 {
 		var cancel context.CancelFunc

@@ -186,7 +186,7 @@ func ComputeParametricModelContext(ctx context.Context, prog *scop.Program, line
 	coalesceBase := presburger.CoalesceCountersSnapshot()
 	var fs frontierStats
 	ex, release := opts.executor()
-	distances, _, err := computeStackDistances(ctx, info, lineSize, ex, &fs, meter, false)
+	distances, _, _, err := computeStackDistances(ctx, info, lineSize, ex, &fs, meter, false)
 	release()
 	if err != nil {
 		if budget.IsCancellation(err) {
@@ -407,8 +407,14 @@ func (pm *ParametricModel) Eval(cfg Config, bindings map[string]int64) (*Result,
 	if cfg.LineSize != pm.LineSize {
 		return nil, fmt.Errorf("core: parametric model was computed for line size %d, not %d", pm.LineSize, cfg.LineSize)
 	}
-	if len(cfg.CacheSizes) == 0 {
-		return nil, fmt.Errorf("core: at least one cache size is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HasSetAssoc() {
+		// A parametric program has no fixed layout, so there is no set-index
+		// map to partition the distances with. Bind the model first: the
+		// instantiated DistanceModel answers set-associative queries.
+		return nil, fmt.Errorf("core: parametric models answer fully associative hierarchies only; Bind the parameters and use the distance model for set-associative counting")
 	}
 	point, err := pm.paramPoint(bindings)
 	if err != nil {

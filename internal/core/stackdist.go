@@ -62,7 +62,7 @@ func ComputeStackDistances(info *scop.PolyInfo, lineSize int64) ([]StatementDist
 func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int) ([]StatementDistance, error) {
 	ex, release := parwork.NewExec(workers)
 	defer release()
-	dists, _, err := computeStackDistances(context.Background(), info, lineSize, ex, nil, nil, false)
+	dists, _, _, err := computeStackDistances(context.Background(), info, lineSize, ex, nil, nil, false)
 	return dists, err
 }
 
@@ -74,7 +74,10 @@ func ComputeStackDistancesWith(info *scop.PolyInfo, lineSize int64, workers int)
 // degrades is dropped from the returned distances and reported in the
 // degraded map (statement -> reason) instead of failing the phase; exact
 // mode keeps the legacy all-or-nothing contract and returns a nil map.
-func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize int64, ex parwork.Exec, fs *frontierStats, meter *budget.Meter, bounded bool) ([]StatementDistance, map[string]string, error) {
+// The raw touched-line union map (instances of t to the lines accessed in
+// t's reuse window) is returned alongside: restricted to one cache set's
+// lines it is what the set-associative counting re-counts per set.
+func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize int64, ex parwork.Exec, fs *frontierStats, meter *budget.Meter, bounded bool) ([]StatementDistance, map[string]string, presburger.UnionMap, error) {
 	S := info.Schedule()
 	A := info.LineAccessMap(lineSize)
 	Sinv := S.Reverse()
@@ -83,15 +86,15 @@ func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize in
 	// Schedule values to accessed cache lines and back.
 	schedToLine, err := Sinv.ApplyRange(A)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: building schedule-to-line map: %w", err)
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: building schedule-to-line map: %w", err)
 	}
 	equal, err := schedToLine.ApplyRange(schedToLine.Reverse())
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: building equal map: %w", err)
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: building equal map: %w", err)
 	}
 	equalMap, ok := equal.Get(scop.ScheduleSpaceName, scop.ScheduleSpaceName)
 	if !ok {
-		return nil, nil, fmt.Errorf("core: program has no reuse at all (empty equal map)")
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: program has no reuse at all (empty equal map)")
 	}
 
 	// Backward-in-time accesses of the same line; the lexicographically
@@ -101,54 +104,66 @@ func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize in
 	// every floor expression on the side of the target access, which is the
 	// side that survives the following compositions.)
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, presburger.UnionMap{}, err
 	}
 	backwardEqual := equalMap.Intersect(presburger.LexGT(schedSpace))
 	backwardEqual = simplifyMap(backwardEqual, fs)
 	prevSched, err := lexmin.MapLexmaxExec(ctx, backwardEqual, ex)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: previous-access lexmax: %w", err)
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: previous-access lexmax: %w", err)
 	}
 	prevSchedUnion := presburger.NewUnionMap().Add(simplifyMap(prevSched, fs))
 
 	// Convert schedule-value relations to statement-instance relations.
 	prev, err := composeAll(S, prevSchedUnion, Sinv, fs)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: previous map composition: %w", err)
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: previous map composition: %w", err)
 	}
 	lexLE := presburger.NewUnionMap().Add(presburger.LexLE(schedSpace))
 	lexGE := presburger.NewUnionMap().Add(presburger.LexGE(schedSpace))
 
 	backward, err := composeAll(S, lexGE, Sinv, fs)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: backward map: %w", err)
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: backward map: %w", err)
 	}
 	// forward = (S⁻¹ ∘ L⪯ ∘ S) ∘ N⁻¹: map to the previous access first, then
 	// to every instance executed at or after it.
 	afterPrev, err := composeAll(S, lexLE, Sinv, fs)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: forward map: %w", err)
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: forward map: %w", err)
 	}
 	forward, err := prev.ApplyRange(afterPrev)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: forward map composition: %w", err)
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: forward map composition: %w", err)
 	}
 	forward = simplifyUnion(forward, fs)
 
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, presburger.UnionMap{}, err
 	}
 	window := forward.Intersect(backward)
 	touched, err := window.ApplyRange(A)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: touched lines composition: %w", err)
+		return nil, nil, presburger.UnionMap{}, fmt.Errorf("core: touched lines composition: %w", err)
 	}
 
-	// Count the distinct lines per statement instance: one piecewise
-	// quasi-polynomial per statement, summed over the accessed arrays. The
-	// per-map cardinalities are independent, so they are computed on the
-	// worker pool; the per-statement sums fold the results in map order so
-	// the outcome matches the sequential computation exactly.
+	dists, degraded, err := countTouchedCards(ctx, info, touched, ex, fs, meter, bounded, "")
+	if err != nil {
+		return nil, nil, presburger.UnionMap{}, err
+	}
+	return dists, degraded, touched, nil
+}
+
+// countTouchedCards counts the distinct lines per statement instance of a
+// touched-line union map: one piecewise quasi-polynomial per statement,
+// summed over the accessed arrays. The per-map cardinalities are
+// independent, so they are computed on the worker pool; the per-statement
+// sums fold the results in map order so the outcome matches the sequential
+// computation exactly. It is shared between the fully associative pipeline
+// (the whole touched map, empty opPrefix) and the set-associative counting
+// (the map restricted to one cache set, with the set named in opPrefix so
+// budget provenance stays attributable).
+func countTouchedCards(ctx context.Context, info *scop.PolyInfo, touched presburger.UnionMap, ex parwork.Exec, fs *frontierStats, meter *budget.Meter, bounded bool, opPrefix string) ([]StatementDistance, map[string]string, error) {
 	byStatement := map[string][]presburger.Map{}
 	for _, m := range touched.Maps() {
 		byStatement[m.InSpace().Name] = append(byStatement[m.InSpace().Name], m)
@@ -206,13 +221,13 @@ func computeStackDistances(ctx context.Context, info *scop.PolyInfo, lineSize in
 			leader[idx] = idx
 		}
 	}
-	err = ex.RunGroup(ctx, len(items), func(_ *parwork.Worker, scheduled int) error {
+	err := ex.RunGroup(ctx, len(items), func(_ *parwork.Worker, scheduled int) error {
 		idx := order[scheduled]
 		it := items[idx]
 		if leader[idx] != idx {
 			return nil // copied after the pool drains
 		}
-		card, err := counting.MapCardOp(simplifyMap(it.m, fs), meter.Op("touched-line count of "+it.name))
+		card, err := counting.MapCardOp(simplifyMap(it.m, fs), meter.Op(opPrefix+"touched-line count of "+it.name))
 		if err != nil {
 			if bounded && !budget.IsCancellation(err) {
 				// Degrade the statement instead of the analysis; the caller

@@ -68,6 +68,16 @@ type DistanceModel struct {
 	compulsoryBounds counting.Interval
 	boundedStmts     map[string]string
 	boundedReason    string
+
+	// Set-associative state, retained by a successful symbolic distance
+	// phase: the polyhedral description and the raw touched-line union map.
+	// CountMisses re-counts the touched map restricted to each cache set
+	// when the query's geometry has more than one set — the set partition
+	// depends on the hierarchy, so it cannot be precomputed here. A nil
+	// saInfo (trace-fallback or externally constructed models) answers
+	// set-associative queries from the simulation tier instead.
+	saInfo    *scop.PolyInfo
+	saTouched presburger.UnionMap
 }
 
 // ComputeDistances runs the cache-independent phase of the analysis: it
@@ -143,6 +153,8 @@ func ComputeDistancesContext(ctx context.Context, prog *scop.Program, lineSize i
 			dm.fallbackReason = symErr.Error()
 			dm.distances = nil
 			dm.perStmtCompulsory = nil
+			dm.saInfo = nil
+			dm.saTouched = presburger.UnionMap{}
 			// Discard any partial symbolic statistics (the stack distance
 			// stage may have succeeded before a later stage failed):
 			// fallback models answer from the profile, so their results
@@ -229,10 +241,12 @@ func (dm *DistanceModel) computeSymbolic(ctx context.Context, info *scop.PolyInf
 	poolBase := ex.PoolStats()
 	var fs frontierStats
 	bounded := dm.opts.Mode == ModeBounded
-	distances, degraded, err := computeStackDistances(ctx, info, dm.LineSize, ex, &fs, meter, bounded)
+	distances, degraded, touched, err := computeStackDistances(ctx, info, dm.LineSize, ex, &fs, meter, bounded)
 	if err != nil {
 		return err
 	}
+	dm.saInfo = info
+	dm.saTouched = touched
 	dm.baseStats.StackDistanceTime = time.Since(tStack)
 	dm.baseStats.PeakBasicMaps = int(fs.peak.Load())
 	dm.baseStats.BasicMapsBeforeCoalesce = fs.before.Load()
@@ -360,8 +374,8 @@ func (dm *DistanceModel) countMisses(ctx context.Context, cfg Config, workers in
 	if cfg.LineSize != dm.LineSize {
 		return nil, fmt.Errorf("core: distance model was computed for line size %d, not %d", dm.LineSize, cfg.LineSize)
 	}
-	if len(cfg.CacheSizes) == 0 {
-		return nil, fmt.Errorf("core: at least one cache size is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if dm.opts.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -371,7 +385,9 @@ func (dm *DistanceModel) countMisses(ctx context.Context, cfg Config, workers in
 	meter := budget.New(ctx, dm.opts.Budget)
 	res := &Result{Kernel: dm.Kernel, TotalAccesses: dm.TotalAccesses, Stats: dm.baseStats.clone()}
 	if dm.fallbackReason != "" {
-		dm.fillFromProfile(res, cfg)
+		if err := dm.fillFromProfile(res, cfg); err != nil {
+			return nil, err
+		}
 		res.UsedTraceFallback = true
 		res.FallbackReason = dm.fallbackReason
 		res.Tier = TierSimulated
@@ -404,7 +420,9 @@ func (dm *DistanceModel) countMisses(ctx context.Context, cfg Config, workers in
 		if err := dm.ensureProfile(); err != nil {
 			return nil, err
 		}
-		dm.fillFromProfile(res, cfg)
+		if err := dm.fillFromProfile(res, cfg); err != nil {
+			return nil, err
+		}
 		res.UsedTraceFallback = true
 		res.FallbackReason = countErr.Error()
 		res.Tier = TierSimulated
@@ -438,44 +456,101 @@ func (dm *DistanceModel) fillFromInstanceBounds(res *Result, cfg Config) {
 	res.finalizeBounds()
 }
 
-// countSymbolic counts the capacity misses of every level with the shared
-// single-pass counting engine (Algorithm 1), fanned out over the given
-// number of workers. Under ModeBounded, pieces and statements that
-// degraded contribute certified intervals instead of failing.
+// countSymbolic counts the capacity misses of every level. Fully
+// associative levels (single-set geometry) share one pass of the counting
+// engine (Algorithm 1); set-associative levels are counted per cache set,
+// with the set partitions fanned out over the executor. Under ModeBounded,
+// pieces and statements that degraded contribute certified intervals
+// instead of failing.
 func (dm *DistanceModel) countSymbolic(ctx context.Context, cfg Config, workers int, ex parwork.Exec, res *Result, meter *budget.Meter) error {
 	tCap := time.Now()
-	lines := make([]int64, len(cfg.CacheSizes))
-	for i, size := range cfg.CacheSizes {
-		lines[i] = size / cfg.LineSize
-	}
 	countOpts := dm.opts
 	countOpts.Parallelism = workers
-	counter := newCapacityCounter(countOpts, &res.Stats)
-	counter.meter = meter
-	counter.ctx = ctx
-	counter.exec = ex
-	arenaBase := presburger.ArenaCountersSnapshot()
-	out, err := counter.Count(dm.distances, lines)
-	arena := presburger.ArenaCountersSnapshot().Sub(arenaBase)
-	res.Stats.ArenaHits += arena.Hits
-	res.Stats.ArenaMisses += arena.Misses
-	if err != nil {
-		return err
+	nLev := len(cfg.CacheSizes)
+	// Split the levels by geometry: numSets == 1 is the classic fully
+	// associative case (shared single counting pass over all such levels),
+	// numSets > 1 is counted per set.
+	type levelGeom struct{ sets, ways int64 }
+	geoms := make([]levelGeom, nLev)
+	var fullIdx, setIdx []int
+	for i := range cfg.CacheSizes {
+		numSets, ways, err := cfg.LevelGeometry(i)
+		if err != nil {
+			return fmt.Errorf("core: level %d: %w", i+1, err)
+		}
+		geoms[i] = levelGeom{numSets, ways}
+		if numSets > 1 {
+			if numSets > MaxAnalyticalSets {
+				return fmt.Errorf("core: level %d partitions into %d sets, above the analytical limit of %d (raise the associativity or use the simulation tier)",
+					i+1, numSets, MaxAnalyticalSets)
+			}
+			setIdx = append(setIdx, i)
+		} else {
+			fullIdx = append(fullIdx, i)
+		}
 	}
-	degradedReasons := append([]string(nil), out.degraded...)
+	if ex == nil {
+		var release func()
+		ex, release = countOpts.executor()
+		defer release()
+	}
+	levelBounds := make([]counting.Interval, nLev)
+	levelPerStmt := make([]map[string]int64, nLev)
+	var degradedReasons []string
+	if len(fullIdx) > 0 {
+		lines := make([]int64, len(fullIdx))
+		for j, i := range fullIdx {
+			lines[j] = cfg.CacheSizes[i] / cfg.LineSize
+		}
+		counter := newCapacityCounter(countOpts, &res.Stats)
+		counter.meter = meter
+		counter.ctx = ctx
+		counter.exec = ex
+		arenaBase := presburger.ArenaCountersSnapshot()
+		out, err := counter.Count(dm.distances, lines)
+		arena := presburger.ArenaCountersSnapshot().Sub(arenaBase)
+		res.Stats.ArenaHits += arena.Hits
+		res.Stats.ArenaMisses += arena.Misses
+		if err != nil {
+			return err
+		}
+		for j, i := range fullIdx {
+			levelBounds[i] = out.bounds[j]
+			levelPerStmt[i] = out.perStmt[j]
+		}
+		degradedReasons = append(degradedReasons, out.degraded...)
+	}
+	for _, i := range setIdx {
+		slc, err := dm.countSetAssocLevel(ctx, countOpts, ex, meter, i, geoms[i].sets, geoms[i].ways)
+		if err != nil {
+			return err
+		}
+		levelBounds[i] = slc.bounds
+		levelPerStmt[i] = slc.perStmt
+		degradedReasons = append(degradedReasons, slc.degraded...)
+		res.Stats.merge(&slc.stats)
+		res.Stats.SetAssoc = append(res.Stats.SetAssoc, SetAssocLevelStats{
+			Level: i, Sets: geoms[i].sets, Ways: geoms[i].ways, SetPieces: slc.pieces,
+		})
+	}
 	// Statements whose distance polynomial degraded in the distance phase:
-	// their capacity misses are certifiably within [0, instances].
+	// their capacity misses are certifiably within [0, instances] at every
+	// level. The set-associative pass skips those statements' touched maps,
+	// so the bound is never double counted.
 	for _, stmt := range sortedKeys(dm.boundedStmts) {
 		n := dm.stmtInstances[stmt]
-		for l := range lines {
-			out.bounds[l] = out.bounds[l].Add(counting.Interval{Lo: 0, Hi: n})
-			out.perStmt[l][stmt] = n
+		for l := 0; l < nLev; l++ {
+			levelBounds[l] = levelBounds[l].Add(counting.Interval{Lo: 0, Hi: n})
+			if levelPerStmt[l] == nil {
+				levelPerStmt[l] = map[string]int64{}
+			}
+			levelPerStmt[l][stmt] = n
 		}
 		degradedReasons = append(degradedReasons, fmt.Sprintf("%s: %s", stmt, dm.boundedStmts[stmt]))
 	}
 	// A degraded piece with no box bound reports a saturated per-statement
 	// count; the statement's instance count is always a certified cap.
-	for _, m := range out.perStmt {
+	for _, m := range levelPerStmt {
 		for stmt, v := range m {
 			if n, ok := dm.stmtInstances[stmt]; ok && v > n {
 				m[stmt] = n
@@ -484,7 +559,7 @@ func (dm *DistanceModel) countSymbolic(ctx context.Context, cfg Config, workers 
 	}
 	res.Levels = res.Levels[:0]
 	for i, size := range cfg.CacheSizes {
-		capBounds := out.bounds[i]
+		capBounds := levelBounds[i]
 		if !capBounds.IsExact() {
 			// Certified cap: capacity misses are repeat accesses, so they
 			// cannot exceed the non-compulsory access count. Exact counts are
@@ -496,7 +571,7 @@ func (dm *DistanceModel) countSymbolic(ctx context.Context, cfg Config, workers 
 			CacheBytes:           size,
 			CapacityMisses:       capBounds.Hi,
 			TotalMisses:          total.Hi,
-			PerStatementCapacity: out.perStmt[i],
+			PerStatementCapacity: levelPerStmt[i],
 			CapacityMissBounds:   capBounds,
 			TotalMissBounds:      total,
 		})
@@ -553,18 +628,44 @@ func (dm *DistanceModel) ensureProfile() error {
 // fillFromProfile fills the per-level miss counts of res from the exact
 // trace profile; the profile answers any capacity, so this path shares the
 // profile across hierarchies the same way the symbolic path shares the
-// distances.
-func (dm *DistanceModel) fillFromProfile(res *Result, cfg Config) {
+// distances. The stack distance profile only answers fully associative
+// geometries; a level with more than one cache set is answered by replaying
+// the trace through a set-associative LRU simulation of just that geometry
+// (still exact, still on the padded layout the model assumes).
+func (dm *DistanceModel) fillFromProfile(res *Result, cfg Config) error {
 	res.CompulsoryMisses = dm.profile.Compulsory
+	var ref Reference
+	haveRef := false
+	setAssoc := make([]bool, len(cfg.CacheSizes))
+	for i := range cfg.CacheSizes {
+		numSets, _, err := cfg.LevelGeometry(i)
+		if err != nil {
+			return fmt.Errorf("core: level %d: %w", i+1, err)
+		}
+		setAssoc[i] = numSets > 1
+		if setAssoc[i] && !haveRef {
+			ref, err = SimulateSetAssocReference(dm.prog, cfg)
+			if err != nil {
+				return err
+			}
+			haveRef = true
+		}
+	}
 	res.Levels = res.Levels[:0]
-	for _, size := range cfg.CacheSizes {
-		capMisses := dm.profile.CapacityMissesFor(size / cfg.LineSize)
+	for i, size := range cfg.CacheSizes {
+		var capMisses int64
+		if setAssoc[i] {
+			capMisses = ref.TotalMisses[i] - res.CompulsoryMisses
+		} else {
+			capMisses = dm.profile.CapacityMissesFor(size / cfg.LineSize)
+		}
 		res.Levels = append(res.Levels, LevelResult{
 			CacheBytes:     size,
 			CapacityMisses: capMisses,
 			TotalMisses:    capMisses + res.CompulsoryMisses,
 		})
 	}
+	return nil
 }
 
 // clone deep-copies the stats so concurrent CountMisses calls never share
@@ -576,6 +677,14 @@ func (s Stats) clone() Stats {
 		out.NonAffineByAffineDims[k] = v
 	}
 	out.CapacityWorkerTime = append([]time.Duration(nil), s.CapacityWorkerTime...)
+	out.SetAssoc = make([]SetAssocLevelStats, len(s.SetAssoc))
+	for i, sa := range s.SetAssoc {
+		sa.SetPieces = append([]int(nil), sa.SetPieces...)
+		out.SetAssoc[i] = sa
+	}
+	if len(out.SetAssoc) == 0 {
+		out.SetAssoc = nil
+	}
 	return out
 }
 

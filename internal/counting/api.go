@@ -182,23 +182,66 @@ func MapCard(m presburger.Map) (qpoly.PwQPoly, error) {
 // MapCardOp is MapCard charging the given budget operation (nil =
 // unlimited).
 func MapCardOp(m presburger.Map, op *budget.Op) (qpoly.PwQPoly, error) {
-	disjoint, err := DisjointBasicMaps(m)
+	cards, err := MapCardPieces(m, op)
 	if err != nil {
 		return qpoly.PwQPoly{}, err
-	}
-	cards := make([]qpoly.PwQPoly, 0, len(disjoint))
-	for _, bm := range disjoint {
-		card, err := CardBasicSetOp(bm.AsSet(), bm.NIn(), bm.InSpace(), op)
-		if err != nil {
-			return qpoly.PwQPoly{}, err
-		}
-		cards = append(cards, card)
 	}
 	// The per-basic-map cards overlap only where their domains can: the
 	// partitioned fold concatenates provably disjoint chambers (different
 	// access ids, different boundary wedges) and pays the quadratic
 	// disjointness fold only within a chamber.
 	return qpoly.MergeDisjointSum(m.InSpace(), cards), nil
+}
+
+// MapCardPieces is MapCardOp without the final disjoint merge: it returns
+// one piecewise card per disjoint basic map of the union, and the pointwise
+// sum of the returned polynomials equals the MapCardOp result. Callers that
+// only evaluate the cardinality at concrete points keep the sum lazy and
+// skip the merge entirely — the set-associative restriction stripes the
+// card domains by residue classes, and the disjoint piecewise normal form
+// of the merged sum grows quadratically with the stripe count.
+func MapCardPieces(m presburger.Map, op *budget.Op) ([]qpoly.PwQPoly, error) {
+	disjoint, err := DisjointBasicMaps(m)
+	if err != nil {
+		return nil, err
+	}
+	cards := make([]qpoly.PwQPoly, 0, len(disjoint))
+	for _, bm := range disjoint {
+		card, err := CardBasicSetOp(bm.AsSet(), bm.NIn(), bm.InSpace(), op)
+		if err != nil {
+			return nil, err
+		}
+		cards = append(cards, card)
+	}
+	return cards, nil
+}
+
+// MapCardSummands is the sum form of MapCardPieces: it returns the raw
+// summand pieces of every disjoint basic map (overlapping domains, sum
+// semantics — the cardinality at a point is the sum of every piece whose
+// domain contains it), skipping the per-basic-map disjointness fold of
+// CardBasicSet entirely. That fold is what explodes under set-associative
+// residue restriction: fine residue stripes fan the summation out into many
+// systems, and folding them into a disjoint piecewise normal form pays a
+// quadratic chain of set subtractions for a shape the pointwise evaluator
+// never needs. Every summand is a chamber count — nonnegative on its domain
+// — so threshold evaluation may stop early (qpoly.Bag.SumExceeds).
+func MapCardSummands(m presburger.Map, op *budget.Op) ([]qpoly.Piece, error) {
+	disjoint, err := DisjointBasicMaps(m)
+	if err != nil {
+		return nil, err
+	}
+	var pieces []qpoly.Piece
+	for _, bm := range disjoint {
+		sum, err := CardBasicSetSummands(bm.AsSet(), bm.NIn(), bm.InSpace(), op)
+		if err != nil {
+			return nil, err
+		}
+		for _, term := range sum.Terms {
+			pieces = append(pieces, term.Pieces...)
+		}
+	}
+	return pieces, nil
 }
 
 // CountMapPairs returns the exact number of distinct relation pairs of the

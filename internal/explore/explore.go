@@ -196,6 +196,9 @@ func SweepContext(ctx context.Context, grid Grid, opts Options) (*Result, error)
 		if len(h.CacheSizes) == 0 {
 			return nil, fmt.Errorf("explore: hierarchy %d has no cache sizes", i)
 		}
+		if err := h.Validate(); err != nil {
+			return nil, fmt.Errorf("explore: hierarchy %d: %w", i, err)
+		}
 	}
 	for i, k := range grid.Kernels {
 		if k.Program == nil {

@@ -1,0 +1,62 @@
+package presburger
+
+import "testing"
+
+// TestModEqPointwise checks the residue constraint against the direct modulo
+// computation on a scanned box: for every modulus and residue, the
+// constrained set must contain exactly the points whose expression value is
+// congruent.
+func TestModEqPointwise(t *testing.T) {
+	sp := NewSpace("box", "x", "y")
+	box := UniverseBasicSet(sp)
+	// 0 <= x < 12, -5 <= y < 7 (negative values exercise floor semantics).
+	box = box.AddConstraint(Constraint{C: Vec{0, 1, 0}})
+	box = box.AddConstraint(Constraint{C: Vec{11, -1, 0}})
+	box = box.AddConstraint(Constraint{C: Vec{5, 0, 1}})
+	box = box.AddConstraint(Constraint{C: Vec{6, 0, -1}})
+	// expr = 3 + 2x + y
+	expr := Vec{3, 2, 1}
+	for _, m := range []int64{1, 2, 3, 4, 8} {
+		for r := int64(0); r < m; r++ {
+			got := box.ModEq(expr, m, r)
+			err := box.Scan(func(p []int64) error {
+				v := expr[0] + expr[1]*p[0] + expr[2]*p[1]
+				want := ((v % m) + m) % m
+				if got.Contains(p) != (want == r) {
+					t.Errorf("m=%d r=%d point %v: Contains=%v, value %d mod %d = %d",
+						m, r, p, got.Contains(p), v, m, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("scan: %v", err)
+			}
+		}
+	}
+}
+
+// TestResidueSetPartitions asserts that the m residue classes of an
+// expression partition the universe: their cardinalities sum to the box
+// cardinality and no point is in two classes.
+func TestResidueSetPartitions(t *testing.T) {
+	sp := NewSpace("box", "x")
+	box := UniverseBasicSet(sp)
+	box = box.AddConstraint(Constraint{C: Vec{0, 1}})
+	box = box.AddConstraint(Constraint{C: Vec{19, -1}})
+	const m = 4
+	var total int64
+	for r := int64(0); r < m; r++ {
+		cls := ResidueSet(sp, Vec{0, 1}, m, r).Intersect(SetFromBasic(box))
+		n, err := cls.CountByScan()
+		if err != nil {
+			t.Fatalf("residue %d: %v", r, err)
+		}
+		if n != 5 {
+			t.Errorf("residue %d: %d points, want 5", r, n)
+		}
+		total += n
+	}
+	if total != 20 {
+		t.Errorf("classes cover %d points, want 20", total)
+	}
+}

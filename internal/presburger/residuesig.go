@@ -1,0 +1,135 @@
+package presburger
+
+import (
+	"fmt"
+	"sort"
+
+	"haystack/internal/ints"
+)
+
+// ResidueClass records a congruence a basic set implies on its dimensions:
+// expr ≡ R (mod m), where Key canonically encodes the pair (expr, m). The
+// classes are a cheap separation signature for the piecewise folds of the
+// counting pipeline: two basic sets whose signatures share a Key with
+// different residues R are provably disjoint.
+//
+// The congruences come from the equality constraints. An equality
+//
+//	c0 + Σ aj·xj + Σ bk·ek = 0
+//
+// over integer div variables ek implies c0 + Σ aj·xj ≡ 0 (mod g) for
+// g = gcd(|bk|) — regardless of how the divs are defined, because every ek
+// takes integer values. Residue-striped domains (residue splits of the
+// counting engine, cache-set partitions) carry exactly such equalities, and
+// without this signature their overlap tests fall through to the expensive
+// symbolic subtraction even though the stripes are trivially disjoint.
+type ResidueClass struct {
+	Key string
+	R   int64
+}
+
+// ResidueClasses derives the canonical residue signature of the basic set,
+// sorted by Key. Congruences are normalized (sign of the leading
+// coefficient, common factor of coefficients and modulus divided out), so
+// equal congruences produce equal keys across independently built sets.
+func (bs BasicSet) ResidueClasses() []ResidueClass {
+	ndim := bs.b.ndim
+	seen := map[string]int64{}
+	var out []ResidueClass
+	for _, c := range bs.b.cons {
+		if !c.Eq {
+			continue
+		}
+		cc := c.C
+		var g int64
+		for j := 1 + ndim; j < len(cc); j++ {
+			g = ints.GCD(g, cc[j])
+		}
+		if g <= 1 {
+			continue
+		}
+		coeffs := make([]int64, ndim)
+		nonZero := false
+		for d := 0; d < ndim && 1+d < len(cc); d++ {
+			coeffs[d] = cc[1+d]
+			if coeffs[d] != 0 {
+				nonZero = true
+			}
+		}
+		if !nonZero {
+			// A constant congruence carries no separation value: it is either
+			// vacuous or makes the set empty, and emptiness is detected
+			// elsewhere.
+			continue
+		}
+		c0 := cc[0]
+		// Divide out the common factor of the coefficients and the modulus:
+		// d·expr ≡ r (mod d·m) is expr ≡ r/d (mod m), and classes with a
+		// residue the factor does not divide are empty.
+		f := g
+		for _, a := range coeffs {
+			f = ints.GCD(f, a)
+		}
+		r := ((-c0)%g + g) % g
+		if f > 1 {
+			if r%f != 0 {
+				continue // empty set; no separation claim needed
+			}
+			for d := range coeffs {
+				coeffs[d] /= f
+			}
+			g /= f
+			r /= f
+			if g <= 1 {
+				continue
+			}
+		}
+		// Canonical sign: make the leading nonzero coefficient positive
+		// (negating the equality negates expr and c0 but keeps the class).
+		for _, a := range coeffs {
+			if a == 0 {
+				continue
+			}
+			if a < 0 {
+				for d := range coeffs {
+					coeffs[d] = -coeffs[d]
+				}
+				r = (g - r) % g
+			}
+			break
+		}
+		key := fmt.Sprintf("%d|%v", g, coeffs)
+		if _, ok := seen[key]; ok {
+			// A second congruence on the same expression either repeats the
+			// first or empties the set; keep the first for a stable signature.
+			continue
+		}
+		seen[key] = r
+		out = append(out, ResidueClass{Key: key, R: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ResiduesSeparate reports whether two residue signatures (each sorted by
+// Key, as ResidueClasses returns them) prove their basic sets disjoint: some
+// congruence over the same expression and modulus holds with different
+// residues in the two sets.
+func ResiduesSeparate(a, b []ResidueClass) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Key < b[j].Key:
+			i++
+		case a[i].Key > b[j].Key:
+			j++
+		default:
+			if a[i].R != b[j].R {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
+}

@@ -100,18 +100,22 @@ func (pw PwQPoly) Add(o PwQPoly) PwQPoly {
 	return out.CoalescePieces()
 }
 
-// boxSig is the constant bounding box of a piece domain, used as a free
-// pairwise separation test in the piecewise folds.
+// boxSig is the constant bounding box of a piece domain together with its
+// residue-class signature, used as a free pairwise separation test in the
+// piecewise folds. The box separates pieces living in different regions;
+// the residue classes separate interleaved stripes (residue splits of the
+// counting engine, cache-set partitions) whose boxes fully overlap.
 type boxSig struct {
 	lo, hi       []int64
 	hasLo, hasHi []bool
+	res          []presburger.ResidueClass
 }
 
 func boxSignatures(pieces []Piece) []boxSig {
 	out := make([]boxSig, len(pieces))
 	for i, p := range pieces {
 		lo, hi, hasLo, hasHi := p.Domain.ConstBounds()
-		out[i] = boxSig{lo, hi, hasLo, hasHi}
+		out[i] = boxSig{lo, hi, hasLo, hasHi, p.Domain.ResidueClasses()}
 	}
 	return out
 }
@@ -129,7 +133,7 @@ func (a boxSig) disjoint(b boxSig) bool {
 			return true
 		}
 	}
-	return false
+	return presburger.ResiduesSeparate(a.res, b.res)
 }
 
 // subtractPieces returns pieces covering the parts of the domains of `a`
@@ -179,18 +183,20 @@ func MergeDisjointSum(sp presburger.Space, cards []PwQPoly) PwQPoly {
 	type sig struct {
 		pinned []bool
 		vals   []int64
+		res    []presburger.ResidueClass
 	}
 	sigs := make([][]sig, len(cards))
 	for i, c := range cards {
 		for _, p := range c.Pieces {
 			pinned, vals := p.Domain.PinnedDims()
-			sigs[i] = append(sigs[i], sig{pinned, vals})
+			sigs[i] = append(sigs[i], sig{pinned, vals, p.Domain.ResidueClasses()})
 		}
 	}
 	mayOverlap := func(i, j int) bool {
 		for _, sa := range sigs[i] {
 			for _, sb := range sigs[j] {
-				if !presburger.PinsSeparate(sa.pinned, sa.vals, sb.pinned, sb.vals) {
+				if !presburger.PinsSeparate(sa.pinned, sa.vals, sb.pinned, sb.vals) &&
+					!presburger.ResiduesSeparate(sa.res, sb.res) {
 					return true
 				}
 			}

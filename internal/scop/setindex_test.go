@@ -1,0 +1,149 @@
+package scop
+
+import (
+	"testing"
+
+	"haystack/internal/presburger"
+)
+
+// setIndexProgram is a small two-array program with a 2-D and a 1-D array,
+// enough to exercise base offsets, padded outer strides, and multiple
+// accesses per statement.
+func setIndexProgram() *Program {
+	p := NewProgram("setindex")
+	a := p.NewArray("A", ElemFloat64, 6, 10)
+	x := p.NewArray("x", ElemFloat64, 10)
+	i, j := V("i"), V("j")
+	p.Add(
+		For(i, C(0), C(6),
+			For(j, C(0), C(10),
+				Stmt("S0", Read(a, X(i), X(j)), Read(x, X(j)), Write(x, X(i))))))
+	return p
+}
+
+// TestArrayResiduePartition validates the residue sets against the padded
+// layout directly: for every line of every array, exactly the residue set of
+// gline mod numSets contains it.
+func TestArrayResiduePartition(t *testing.T) {
+	const lineSize, numSets = 64, 4
+	prog := setIndexProgram()
+	info, err := BuildPoly(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := info.SetPartition(lineSize, numSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := NewLayout(prog, LayoutPadded, lineSize)
+	for _, a := range prog.Arrays {
+		// Build the line-granularity array space the way AccessRelations does.
+		dims := make([]string, a.Rank())
+		for d := range dims {
+			dims[d] = "d"
+		}
+		dims[len(dims)-1] = "line"
+		space := presburger.NewSpace(a.Name, dims...)
+		residues := make([]presburger.Set, numSets)
+		for s := int64(0); s < numSets; s++ {
+			residues[s], err = part.ArrayResidue(space, s)
+			if err != nil {
+				t.Fatalf("%s residue %d: %v", a.Name, s, err)
+			}
+		}
+		base := layout.Base(a)
+		strides := layout.Strides(a)
+		linesPerRow := (a.Dims[a.Rank()-1]*a.Elem + lineSize - 1) / lineSize
+		var outer int64 = 1
+		if a.Rank() > 1 {
+			outer = a.Dims[0]
+		}
+		for o := int64(0); o < outer; o++ {
+			for line := int64(0); line < linesPerRow; line++ {
+				addr := base + line*lineSize
+				point := []int64{line}
+				if a.Rank() > 1 {
+					addr = base + o*strides[0] + line*lineSize
+					point = []int64{o, line}
+				}
+				wantSet := (addr / lineSize) % numSets
+				for s := int64(0); s < numSets; s++ {
+					if got := residues[s].Contains(point); got != (s == wantSet) {
+						t.Errorf("%s point %v (addr %d): residue %d Contains=%v, want set %d",
+							a.Name, point, addr, s, got, wantSet)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStatementSetDomainPartition checks that the per-set statement domains
+// partition every statement's iteration domain and agree with the addresses
+// the compiled trace actually touches.
+func TestStatementSetDomainPartition(t *testing.T) {
+	const lineSize, numSets = 64, 4
+	prog := setIndexProgram()
+	info, err := BuildPoly(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := info.SetPartition(lineSize, numSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := NewLayout(prog, LayoutPadded, lineSize)
+	ps := info.Statements[0]
+	stmt := ps.Instance.Statement
+	doms := make([]presburger.Set, numSets)
+	for s := int64(0); s < numSets; s++ {
+		doms[s], err = part.StatementSetDomain("S0", s)
+		if err != nil {
+			t.Fatalf("set %d: %v", s, err)
+		}
+	}
+	var total, covered int64
+	for i := int64(0); i < 6; i++ {
+		for j := int64(0); j < 10; j++ {
+			env := map[string]int64{"i": i, "j": j}
+			for a, acc := range stmt.Accesses {
+				total++
+				addr := layout.Base(acc.Array)
+				strides := layout.Strides(acc.Array)
+				for d, idx := range acc.Index {
+					addr += strides[d] * idx.Eval(env)
+				}
+				wantSet := (addr / lineSize) % numSets
+				point := []int64{i, j, int64(a)}
+				for s := int64(0); s < numSets; s++ {
+					in := doms[s].Contains(point)
+					if in != (s == wantSet) {
+						t.Errorf("instance %v: set %d Contains=%v, want set %d", point, s, in, wantSet)
+					}
+					if in {
+						covered++
+					}
+				}
+			}
+		}
+	}
+	if covered != total {
+		t.Errorf("set domains cover %d of %d instances (must partition)", covered, total)
+	}
+}
+
+// TestSetPartitionRejectsParametric pins the concrete-program requirement.
+func TestSetPartitionRejectsParametric(t *testing.T) {
+	p := NewProgram("param")
+	n := p.NewParam("N")
+	a := p.NewArrayP("A", ElemFloat64, X(n))
+	i := V("i")
+	p.Add(For(i, C(0), X(n), Stmt("S0", Read(a, X(i)))))
+	info, err := BuildPoly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := info.SetPartition(64, 4); err == nil {
+		t.Fatal("parametric program must be rejected")
+	}
+}
